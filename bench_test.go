@@ -1,0 +1,370 @@
+// Benchmarks regenerating every table and figure of the paper (one
+// benchmark per artifact, reporting the headline numbers as custom
+// metrics) plus ablation benchmarks for the design choices called out in
+// DESIGN.md. Run with:
+//
+//	go test -bench=. -benchmem
+package emtrust_test
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"emtrust/internal/chip"
+	"emtrust/internal/core"
+	"emtrust/internal/dsp"
+	"emtrust/internal/emfield"
+	"emtrust/internal/experiments"
+	"emtrust/internal/layout"
+	"emtrust/internal/netlist"
+	"emtrust/internal/trace"
+	"emtrust/internal/trojan"
+)
+
+// benchConfig keeps each experiment iteration around a second.
+func benchConfig() experiments.Config {
+	cfg := experiments.DefaultConfig()
+	cfg.GoldenTraces = 30
+	cfg.TestTraces = 30
+	return cfg
+}
+
+// BenchmarkTable1GateCounts regenerates Table I.
+func BenchmarkTable1GateCounts(b *testing.B) {
+	var aesGates int
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Table1(benchConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		aesGates = res.AESGateCount
+	}
+	b.ReportMetric(float64(aesGates), "AES-gates")
+}
+
+// BenchmarkSNRSimulation regenerates the Section IV-B SNR comparison.
+func BenchmarkSNRSimulation(b *testing.B) {
+	var sensor, probe float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.SNRSimulation(benchConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		sensor, probe = res.SensorSNRdB, res.ProbeSNRdB
+	}
+	b.ReportMetric(sensor, "sensor-dB")
+	b.ReportMetric(probe, "probe-dB")
+}
+
+// BenchmarkSNRMeasured regenerates the Section V-A SNR comparison.
+func BenchmarkSNRMeasured(b *testing.B) {
+	var sensor, probe float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.SNRMeasured(benchConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		sensor, probe = res.SensorSNRdB, res.ProbeSNRdB
+	}
+	b.ReportMetric(sensor, "sensor-dB")
+	b.ReportMetric(probe, "probe-dB")
+}
+
+// BenchmarkEuclideanSimulation regenerates the Section IV-C distances.
+func BenchmarkEuclideanSimulation(b *testing.B) {
+	rel := make(map[trojan.Kind]float64)
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.EuclideanSimulation(benchConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, row := range res.Rows {
+			rel[row.Trojan] = row.Relative
+		}
+	}
+	for _, k := range trojan.Kinds() {
+		b.ReportMetric(rel[k], k.String()+"-rel")
+	}
+}
+
+// BenchmarkA2Spectrum regenerates Figure 4.
+func BenchmarkA2Spectrum(b *testing.B) {
+	var increase float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.A2Spectrum(benchConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		increase = res.PeakIncrease
+	}
+	b.ReportMetric(increase, "peak-increase-x")
+}
+
+func benchHistograms(b *testing.B, useSensor bool) {
+	overlap := make(map[trojan.Kind]float64)
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig6Histograms(benchConfig(), useSensor)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, p := range res.Panels {
+			overlap[p.Trojan] = p.Overlap
+		}
+	}
+	for _, k := range trojan.Kinds() {
+		b.ReportMetric(overlap[k], k.String()+"-overlap")
+	}
+}
+
+// BenchmarkFig6ProbeHistograms regenerates Figure 6(a)-(d).
+func BenchmarkFig6ProbeHistograms(b *testing.B) { benchHistograms(b, false) }
+
+// BenchmarkFig6SensorHistograms regenerates Figure 6(e)-(h).
+func BenchmarkFig6SensorHistograms(b *testing.B) { benchHistograms(b, true) }
+
+// BenchmarkFig6SensorSpectra regenerates Figure 6(i)-(l).
+func BenchmarkFig6SensorSpectra(b *testing.B) {
+	detected := 0
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig6Spectra(benchConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		detected = 0
+		for _, p := range res.Panels {
+			if p.Detected {
+				detected++
+			}
+		}
+	}
+	b.ReportMetric(float64(detected), "trojans-detected")
+}
+
+// BenchmarkLayoutReport regenerates the Figure 3 floorplan view.
+func BenchmarkLayoutReport(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.LayoutReport(benchConfig()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCoverageVsRON regenerates the extension experiment comparing
+// the EM framework against the ring-oscillator-network baseline.
+func BenchmarkCoverageVsRON(b *testing.B) {
+	emWins := 0
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Coverage(benchConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		emWins = 0
+		for _, row := range res.Rows {
+			if row.EMRate > row.RONRate {
+				emWins++
+			}
+		}
+	}
+	b.ReportMetric(float64(emWins), "threats-only-EM-catches")
+}
+
+// --- Ablation benchmarks (DESIGN.md section 5) ---------------------------
+
+// BenchmarkAblationTileGrid sweeps the current-aggregation resolution:
+// accuracy (SNR stability) versus coupling precompute and capture cost.
+func BenchmarkAblationTileGrid(b *testing.B) {
+	for _, n := range []int{8, 16, 32} {
+		b.Run(fmt.Sprintf("%dx%d", n, n), func(b *testing.B) {
+			cfg := benchConfig()
+			cfg.Chip.Layout.TilesX, cfg.Chip.Layout.TilesY = n, n
+			var snr float64
+			for i := 0; i < b.N; i++ {
+				res, err := experiments.SNRSimulation(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				snr = res.SensorSNRdB
+			}
+			b.ReportMetric(snr, "sensor-dB")
+		})
+	}
+}
+
+// BenchmarkAblationPCAComponents sweeps the kept components: detection
+// margin (T2's relative distance) versus dimensionality.
+func BenchmarkAblationPCAComponents(b *testing.B) {
+	for _, k := range []int{2, 8, 16} {
+		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			cfg := benchConfig()
+			cfg.Fingerprint.Components = k
+			var rel float64
+			for i := 0; i < b.N; i++ {
+				res, err := experiments.EuclideanSimulation(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				for _, row := range res.Rows {
+					if row.Trojan == trojan.T2LeakageCurrent {
+						rel = row.Relative
+					}
+				}
+			}
+			b.ReportMetric(rel, "T2-rel")
+		})
+	}
+}
+
+// BenchmarkAblationSpiralTurns sweeps the on-chip coil turn count: total
+// coupling (sensitivity) versus wiring.
+func BenchmarkAblationSpiralTurns(b *testing.B) {
+	nl := buildBenchNetlist(b)
+	fp, err := layout.Place(nl, layout.DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, turns := range []int{4, 10, 20} {
+		b.Run(fmt.Sprintf("turns=%d", turns), func(b *testing.B) {
+			var total float64
+			for i := 0; i < b.N; i++ {
+				coil := emfield.OnChipSpiral(fp.Die, turns, 5e-6)
+				cp, err := emfield.NewCoupling(coil, fp.Grid, 25e-12, 64)
+				if err != nil {
+					b.Fatal(err)
+				}
+				total = 0
+				for _, m := range cp.M {
+					total += math.Abs(m)
+				}
+			}
+			b.ReportMetric(total*1e12, "coupling-pH")
+		})
+	}
+}
+
+// BenchmarkAblationProbeHeight sweeps the external probe height: why the
+// on-chip sensor wins as distance grows.
+func BenchmarkAblationProbeHeight(b *testing.B) {
+	nl := buildBenchNetlist(b)
+	fp, err := layout.Place(nl, layout.DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, z := range []float64{50e-6, 100e-6, 200e-6, 400e-6} {
+		b.Run(fmt.Sprintf("z=%.0fum", z*1e6), func(b *testing.B) {
+			var total float64
+			for i := 0; i < b.N; i++ {
+				coil := emfield.ExternalProbe(fp.Die, 0.5e-3, 8, z, 20e-6)
+				cp, err := emfield.NewCoupling(coil, fp.Grid, 25e-12, 64)
+				if err != nil {
+					b.Fatal(err)
+				}
+				total = 0
+				for _, m := range cp.M {
+					total += math.Abs(m)
+				}
+			}
+			b.ReportMetric(total*1e12, "coupling-pH")
+		})
+	}
+}
+
+// BenchmarkAblationWindow sweeps the spectral window choice for the
+// Section III-E detector.
+func BenchmarkAblationWindow(b *testing.B) {
+	for _, w := range []dsp.Window{dsp.Rectangular, dsp.Hann, dsp.Blackman} {
+		b.Run(w.String(), func(b *testing.B) {
+			cfg := benchConfig()
+			cfg.Spectral.Window = w
+			var increase float64
+			for i := 0; i < b.N; i++ {
+				res, err := experiments.A2Spectrum(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				increase = res.PeakIncrease
+			}
+			b.ReportMetric(increase, "peak-increase-x")
+		})
+	}
+}
+
+// BenchmarkAblationGoldenSetSize sweeps the golden set size: Eq. (1)
+// threshold stability versus fitting cost.
+func BenchmarkAblationGoldenSetSize(b *testing.B) {
+	c, err := chip.New(chip.DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := c.DeactivateAll(); err != nil {
+		b.Fatal(err)
+	}
+	key := make([]byte, 16)
+	pt := make([]byte, 16)
+	ch := chip.SimulationChannels()
+	for _, n := range []int{10, 30, 90} {
+		b.Run(fmt.Sprintf("golden=%d", n), func(b *testing.B) {
+			var threshold float64
+			for i := 0; i < b.N; i++ {
+				golden := make([]*trace.Trace, 0, n)
+				for j := 0; j < n; j++ {
+					cap, err := c.CapturePT(pt, key, 32)
+					if err != nil {
+						b.Fatal(err)
+					}
+					s, _ := c.Acquire(cap, ch)
+					golden = append(golden, s)
+				}
+				fp, err := core.BuildFingerprint(golden, core.DefaultFingerprintConfig())
+				if err != nil {
+					b.Fatal(err)
+				}
+				threshold = fp.Threshold
+			}
+			b.ReportMetric(threshold*1e9, "threshold-nV")
+		})
+	}
+}
+
+func buildBenchNetlist(b *testing.B) *netlist.Netlist {
+	b.Helper()
+	cfg := chip.DefaultConfig()
+	c, err := chip.New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return c.Netlist()
+}
+
+// BenchmarkLocalize regenerates the quadrant-localization extension.
+func BenchmarkLocalize(b *testing.B) {
+	correct := 0
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Localize(benchConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		correct = 0
+		for _, row := range res.Rows {
+			if row.Correct {
+				correct++
+			}
+		}
+	}
+	b.ReportMetric(float64(correct), "trojans-localized")
+}
+
+// BenchmarkVariation regenerates the process-variation extension.
+func BenchmarkVariation(b *testing.B) {
+	var goldenFA, selfFA float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Variation(benchConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		goldenFA = res.Rows[0].FalseAlarmRate
+		selfFA = res.Rows[1].FalseAlarmRate
+	}
+	b.ReportMetric(goldenFA, "goldenchip-false-alarms")
+	b.ReportMetric(selfFA, "selfref-false-alarms")
+}

@@ -1,0 +1,97 @@
+// Command emsim runs one EM capture on the virtual chip and writes the
+// sensor and probe traces (and optionally their spectra) as CSV, for
+// plotting with any external tool.
+//
+// Usage:
+//
+//	emsim [-cycles n] [-trojan 0..4] [-a2] [-idle] [-spectrum] [-o dir]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"emtrust/internal/chip"
+	"emtrust/internal/dsp"
+	"emtrust/internal/trojan"
+)
+
+func main() {
+	cycles := flag.Int("cycles", 64, "clock cycles to capture")
+	trojanID := flag.Int("trojan", 0, "digital Trojan to activate (1-4, 0 = none)")
+	a2 := flag.Bool("a2", false, "enable the A2 analog Trojan")
+	idle := flag.Bool("idle", false, "capture without encrypting")
+	spectrum := flag.Bool("spectrum", false, "also write one-sided amplitude spectra")
+	outDir := flag.String("o", ".", "output directory")
+	seed := flag.Int64("seed", 1, "random seed")
+	flag.Parse()
+
+	cfg := chip.DefaultConfig()
+	cfg.Seed = *seed
+	c, err := chip.New(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := c.DeactivateAll(); err != nil {
+		log.Fatal(err)
+	}
+	c.EnableA2(*a2)
+	if *trojanID != 0 {
+		k := trojan.Kind(*trojanID)
+		if err := c.SetTrojan(k, true); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("activated %v: %s", k, k.Description())
+	}
+	if *a2 {
+		// Warm the charge pump so the capture shows the firing state.
+		if _, err := c.CaptureIdle(600); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("A2 firing: %v (V=%.2f)", c.A2().Firing(), c.A2().Voltage())
+	}
+
+	var cap *chip.Capture
+	if *idle {
+		cap, err = c.CaptureIdle(*cycles)
+	} else {
+		key := []byte{0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6, 0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf, 0x4f, 0x3c}
+		cap, err = c.Capture(key, *cycles)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	sensor, probe := c.Acquire(cap, chip.MeasurementChannels())
+
+	write := func(name, content string) {
+		path := filepath.Join(*outDir, name)
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("wrote %s", path)
+	}
+	write("sensor.csv", sensor.CSV())
+	write("probe.csv", probe.CSV())
+
+	if *spectrum {
+		for name, tr := range map[string]*struct {
+			samples []float64
+			dt      float64
+		}{
+			"sensor_spectrum.csv": {sensor.Samples, sensor.Dt},
+			"probe_spectrum.csv":  {probe.Samples, probe.Dt},
+		} {
+			s := dsp.NewSpectrum(tr.samples, tr.dt, dsp.Hann)
+			var sb strings.Builder
+			sb.WriteString("frequency_hz,amplitude_v\n")
+			for k, a := range s.Amplitude {
+				fmt.Fprintf(&sb, "%.6e,%.6e\n", s.Frequency(k), a)
+			}
+			write(name, sb.String())
+		}
+	}
+}

@@ -1,0 +1,100 @@
+// Command experiments regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	experiments [-run id] [-scale f] [-seed n]
+//
+// where id is one of: all, table1, snr-sim, snr-measured, euclid-sim,
+// a2-spectrum, fig6-probe, fig6-sensor, fig6-spectra, layout. The scale
+// factor multiplies the trace counts (use >= 5 for smooth histograms;
+// the defaults favor quick runs).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"emtrust/internal/experiments"
+)
+
+type runner struct {
+	id   string
+	desc string
+	fn   func(experiments.Config) (fmt.Stringer, error)
+}
+
+func runners() []runner {
+	return []runner{
+		{"table1", "Table I: Trojan sizes vs the AES design", func(c experiments.Config) (fmt.Stringer, error) { return experiments.Table1(c) }},
+		{"snr-sim", "Section IV-B: simulated sensor vs probe SNR", func(c experiments.Config) (fmt.Stringer, error) { return experiments.SNRSimulation(c) }},
+		{"snr-measured", "Section V-A: measured sensor vs probe SNR", func(c experiments.Config) (fmt.Stringer, error) { return experiments.SNRMeasured(c) }},
+		{"euclid-sim", "Section IV-C: Euclidean distances per Trojan", func(c experiments.Config) (fmt.Stringer, error) { return experiments.EuclideanSimulation(c) }},
+		{"a2-spectrum", "Figure 4: A2 Trojan in the frequency domain", func(c experiments.Config) (fmt.Stringer, error) { return experiments.A2Spectrum(c) }},
+		{"fig6-probe", "Figure 6(a)-(d): external probe histograms", func(c experiments.Config) (fmt.Stringer, error) { return experiments.Fig6Histograms(c, false) }},
+		{"fig6-sensor", "Figure 6(e)-(h): on-chip sensor histograms", func(c experiments.Config) (fmt.Stringer, error) { return experiments.Fig6Histograms(c, true) }},
+		{"fig6-spectra", "Figure 6(i)-(l): sensor spectra per Trojan", func(c experiments.Config) (fmt.Stringer, error) { return experiments.Fig6Spectra(c) }},
+		{"layout", "Figure 3: floorplan with the on-chip sensor", func(c experiments.Config) (fmt.Stringer, error) { return experiments.LayoutReport(c) }},
+		{"coverage", "Extension: EM framework vs ring-oscillator-network baseline", func(c experiments.Config) (fmt.Stringer, error) { return experiments.Coverage(c) }},
+		{"localize", "Extension: Trojan localization with quadrant spirals", func(c experiments.Config) (fmt.Stringer, error) { return experiments.Localize(c) }},
+		{"variation", "Extension: golden-chip vs self-referenced fingerprints under process variation", func(c experiments.Config) (fmt.Stringer, error) { return experiments.Variation(c) }},
+		{"robustness", "Extension: detection vs environment noise sweep", func(c experiments.Config) (fmt.Stringer, error) { return experiments.Robustness(c) }},
+		{"faults", "Extension: stuck-at fault detectability (EM vs functional test)", func(c experiments.Config) (fmt.Stringer, error) { return experiments.Faults(c) }},
+	}
+}
+
+func main() {
+	runID := flag.String("run", "all", "experiment id or 'all'")
+	scale := flag.Float64("scale", 1, "trace-count multiplier")
+	seed := flag.Int64("seed", 1, "random seed for chips and noise")
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	htmlOut := flag.String("html", "", "also write an HTML report (tables + SVG figures) to this file")
+	flag.Parse()
+
+	if *list {
+		for _, r := range runners() {
+			fmt.Printf("%-14s %s\n", r.id, r.desc)
+		}
+		return
+	}
+
+	cfg := experiments.DefaultConfig().Scaled(*scale)
+	cfg.Chip.Seed = *seed
+
+	ran := 0
+	for _, r := range runners() {
+		if *runID != "all" && *runID != r.id {
+			continue
+		}
+		ran++
+		start := time.Now()
+		res, err := r.fn(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", r.id, err)
+			os.Exit(1)
+		}
+		fmt.Printf("=== %s — %s (%.1fs) ===\n%s\n", r.id, r.desc, time.Since(start).Seconds(), res)
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q; use -list\n", *runID)
+		os.Exit(2)
+	}
+	if *htmlOut != "" {
+		f, err := os.Create(*htmlOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := experiments.WriteHTMLReport(cfg, f); err != nil {
+			f.Close()
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *htmlOut)
+	}
+}

@@ -1,0 +1,78 @@
+// Command netlist inspects and exports the generated gate-level designs:
+// cell statistics per region, the ASCII floorplan, and structural Verilog
+// for external EDA flows.
+//
+// Usage:
+//
+//	netlist [-golden] [-stats] [-floorplan] [-verilog out.v]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"sort"
+
+	"emtrust/internal/chip"
+	"emtrust/internal/netlist"
+)
+
+func main() {
+	golden := flag.Bool("golden", false, "build the Trojan-free chip")
+	stats := flag.Bool("stats", true, "print per-region cell statistics")
+	floorplan := flag.Bool("floorplan", false, "print the ASCII floorplan")
+	verilog := flag.String("verilog", "", "write structural Verilog to this file")
+	flag.Parse()
+
+	cfg := chip.DefaultConfig()
+	if *golden {
+		cfg.WithTrojans = false
+		cfg.WithA2 = false
+	}
+	c, err := chip.New(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	n := c.Netlist()
+
+	if *stats {
+		total := n.Stats("")
+		fmt.Printf("design %s: %d cells, %.0f gate equivalents, %d flip-flops\n",
+			n.Name, total.Cells, total.GateEquivalent, total.Sequential)
+		for _, region := range n.Regions() {
+			s := n.Stats(region)
+			fmt.Printf("  %-10s %6d cells %9.0f GE\n", region, s.Cells, s.GateEquivalent)
+		}
+		fmt.Printf("cell mix:\n")
+		type kv struct {
+			t netlist.CellType
+			n int
+		}
+		var mix []kv
+		for t, cnt := range total.ByType {
+			mix = append(mix, kv{t, cnt})
+		}
+		sort.Slice(mix, func(i, j int) bool { return mix[i].n > mix[j].n })
+		for _, m := range mix {
+			fmt.Printf("  %-6v %6d\n", m.t, m.n)
+		}
+	}
+	if *floorplan {
+		fmt.Print(c.Floorplan().Render(72, 24))
+	}
+	if *verilog != "" {
+		f, err := os.Create(*verilog)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := netlist.WriteVerilog(f, n); err != nil {
+			f.Close()
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *verilog)
+	}
+}

@@ -1,0 +1,184 @@
+// Command trustmon demonstrates the runtime trust evaluation loop of
+// Figure 1: it builds the virtual chip, fits the golden fingerprint and
+// spectral envelope, then streams live traces through the core.Monitor
+// while Trojans are activated on a schedule, printing one verdict line
+// per trace.
+//
+// The fitted golden models can be persisted with -save and reused with
+// -load, the deployment flow where fingerprinting happens once after
+// installation.
+//
+// Usage:
+//
+//	trustmon [-traces n] [-golden n] [-cycles n] [-seed n] [-save dir] [-load dir]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"path/filepath"
+
+	"emtrust/internal/chip"
+	"emtrust/internal/core"
+	"emtrust/internal/trace"
+	"emtrust/internal/trojan"
+)
+
+func main() {
+	nTraces := flag.Int("traces", 40, "monitored traces to stream")
+	nGolden := flag.Int("golden", 50, "golden traces for the fingerprint")
+	cycles := flag.Int("cycles", 32, "clock cycles per trace")
+	seed := flag.Int64("seed", 1, "random seed")
+	saveDir := flag.String("save", "", "save the fitted golden models to this directory")
+	loadDir := flag.String("load", "", "load previously saved golden models instead of fitting")
+	flag.Parse()
+
+	key := []byte{0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6, 0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf, 0x4f, 0x3c}
+	pt := []byte{0x32, 0x43, 0xf6, 0xa8, 0x88, 0x5a, 0x30, 0x8d, 0x31, 0x31, 0x98, 0xa2, 0xe0, 0x37, 0x07, 0x34}
+
+	cfg := chip.DefaultConfig()
+	cfg.Seed = *seed
+	c, err := chip.New(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := c.DeactivateAll(); err != nil {
+		log.Fatal(err)
+	}
+	c.EnableA2(false)
+	ch := chip.MeasurementChannels()
+
+	capture := func() *trace.Trace {
+		cap, err := c.CapturePT(pt, key, *cycles)
+		if err != nil {
+			log.Fatal(err)
+		}
+		s, _ := c.Acquire(cap, ch)
+		return s
+	}
+
+	var fp *core.Fingerprint
+	var sd *core.SpectralDetector
+	if *loadDir != "" {
+		log.Printf("loading golden models from %s", *loadDir)
+		fp = loadFingerprint(*loadDir)
+		sd = loadSpectral(*loadDir)
+	} else {
+		log.Printf("fitting golden fingerprint from %d traces...", *nGolden)
+		golden := make([]*trace.Trace, *nGolden)
+		for i := range golden {
+			golden[i] = capture()
+		}
+		var err error
+		fp, err = core.BuildFingerprint(golden, core.DefaultFingerprintConfig())
+		if err != nil {
+			log.Fatal(err)
+		}
+		sd, err = core.BuildSpectralDetector(golden, core.DefaultSpectralConfig())
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	if *saveDir != "" {
+		saveModels(*saveDir, fp, sd)
+		log.Printf("saved golden models to %s", *saveDir)
+	}
+	mon, err := core.NewMonitor(fp, sd, 8)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Activation schedule: each quarter of the stream activates the
+	// next Trojan, like the Section V-B measurements.
+	schedule := trojan.Kinds()
+	perPhase := *nTraces / (len(schedule) + 1)
+	if perPhase < 1 {
+		perPhase = 1
+	}
+
+	go func() {
+		defer mon.Close()
+		var active *trojan.Kind
+		for i := 0; i < *nTraces; i++ {
+			phase := i / perPhase
+			if phase >= 1 && phase <= len(schedule) {
+				want := schedule[phase-1]
+				if active == nil || *active != want {
+					if active != nil {
+						if err := c.SetTrojan(*active, false); err != nil {
+							log.Fatal(err)
+						}
+					}
+					if err := c.SetTrojan(want, true); err != nil {
+						log.Fatal(err)
+					}
+					active = &want
+					log.Printf("--- adversary activates %v (%s) ---", want, want.Description())
+				}
+			} else if active != nil {
+				if err := c.SetTrojan(*active, false); err != nil {
+					log.Fatal(err)
+				}
+				active = nil
+				log.Printf("--- all Trojans dormant ---")
+			}
+			mon.Submit(capture())
+		}
+	}()
+
+	for v := range mon.Verdicts() {
+		fmt.Println(v)
+	}
+	total, alarms := mon.Stats()
+	fmt.Printf("monitored %d traces, %d alarms\n", total, alarms)
+}
+
+func saveModels(dir string, fp *core.Fingerprint, sd *core.SpectralDetector) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		log.Fatal(err)
+	}
+	writeTo := func(name string, save func(w io.Writer) error) {
+		f, err := os.Create(filepath.Join(dir, name))
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := save(f); err != nil {
+			f.Close()
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+	}
+	writeTo("fingerprint.json", fp.Save)
+	writeTo("spectral.json", sd.Save)
+}
+
+func loadFingerprint(dir string) *core.Fingerprint {
+	f, err := os.Open(filepath.Join(dir, "fingerprint.json"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	fp, err := core.LoadFingerprint(f)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return fp
+}
+
+func loadSpectral(dir string) *core.SpectralDetector {
+	f, err := os.Open(filepath.Join(dir, "spectral.json"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	sd, err := core.LoadSpectralDetector(f)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return sd
+}

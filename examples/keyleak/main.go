@@ -1,0 +1,74 @@
+// Keyleak proves Trojan 1's payload end to end: the AM leaker is
+// activated, one encryption loads its shift register, and a demodulator
+// listening to the on-chip EM sensor recovers the AES key from the air —
+// the paper's "the leaked information can be demodulated with a wireless
+// radio receiver", using the trust framework's own coil as the antenna.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"emtrust"
+	"emtrust/internal/aes"
+	"emtrust/internal/demod"
+)
+
+func main() {
+	key := []byte{0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6, 0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf, 0x4f, 0x3c}
+	dev, err := emtrust.NewDevice(emtrust.DeviceOptions{Key: key})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The adversary switches the AM leaker on; the victim performs one
+	// encryption, which loads the key into the Trojan's shift register.
+	if err := dev.SetTrojan(emtrust.T1AMLeaker, true); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := dev.CaptureTrace(); err != nil {
+		log.Fatal(err)
+	}
+
+	// While the chip idles, the Trojan radiates the key at 750 kHz,
+	// over and over. One long listen through a narrowband receiver:
+	listen, err := dev.Listen(3400, 2e-9)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	cfg := demod.ChannelConfig(dev.Chip().Config().Power.ClockHz, listen.Dt)
+	res, err := demod.DemodulateOOK(listen.Samples, listen.Dt, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("demodulated %d bits (sync offset %d, contrast %.0f)\n",
+		len(res.Bits), res.Offset, res.Contrast)
+
+	keyBits := aes.BytesToBits(key)
+	rot, errs, ok := demod.MatchRotation(res.Bits, keyBits, len(res.Bits)/10)
+	if !ok {
+		log.Fatalf("key not recovered (best alignment: %d bit errors)", errs)
+	}
+	fmt.Printf("key recovered: rotation %d, %d bit errors over %d bits (%.1f%%)\n",
+		rot, errs, len(res.Bits), 100*float64(errs)/float64(len(res.Bits)))
+
+	// The same trace trips the trust monitor, of course.
+	golden, err := emtrust.NewDevice(emtrust.DeviceOptions{Key: key, Seed: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ref, err := golden.CollectGolden(30)
+	if err != nil {
+		log.Fatal(err)
+	}
+	det, err := emtrust.Fit(ref)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tr, err := dev.CaptureTrace()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("and the monitor sees it: %v\n", det.Evaluate(tr))
+}

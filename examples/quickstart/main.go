@@ -1,0 +1,56 @@
+// Quickstart: build the virtual chip, fit the golden fingerprint, then
+// catch a Trojan the moment it activates.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"emtrust"
+)
+
+func main() {
+	// A device with every Trojan present but dormant, measured through
+	// the on-chip EM sensor.
+	dev, err := emtrust.NewDevice(emtrust.DeviceOptions{Measurement: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Fit the golden reference while the chip behaves.
+	golden, err := dev.CollectGolden(50)
+	if err != nil {
+		log.Fatal(err)
+	}
+	det, err := emtrust.Fit(golden)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("golden fingerprint: threshold %.3g V (Eq. 1)\n", det.Fingerprint.Threshold)
+
+	// A clean trace passes.
+	clean, err := dev.CaptureTrace()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("dormant chip:  %v\n", det.Evaluate(clean))
+
+	// The adversary activates the AM-radio key leaker.
+	if err := dev.SetTrojan(emtrust.T1AMLeaker, true); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(emtrust.Describe(emtrust.T1AMLeaker))
+	alarms := 0
+	for i := 0; i < 5; i++ {
+		tr, err := dev.CaptureTrace()
+		if err != nil {
+			log.Fatal(err)
+		}
+		v := det.Evaluate(tr)
+		fmt.Printf("infected trace %d: %v\n", i, v)
+		if v.Alarm() {
+			alarms++
+		}
+	}
+	fmt.Printf("%d/5 infected traces raised alarms\n", alarms)
+}

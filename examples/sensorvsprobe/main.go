@@ -1,0 +1,64 @@
+// Sensorvsprobe reproduces the paper's headline SNR claim interactively:
+// the on-chip spiral sensor achieves a much higher SNR than an external
+// probe, in both the simulation and the fabricated-chip measurement
+// setups (Sections IV-B and V-A).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"emtrust"
+	"emtrust/internal/dsp"
+)
+
+func measure(measurement bool) (sensorDB, probeDB float64, err error) {
+	dev, err := emtrust.NewDevice(emtrust.DeviceOptions{
+		Golden:      true,
+		Measurement: measurement,
+		Cycles:      16,
+	})
+	if err != nil {
+		return 0, 0, err
+	}
+	var sigS, sigP, noiS, noiP []float64
+	for i := 0; i < 10; i++ {
+		// Noise record: chip powered, no encryption (Section V-A).
+		s, p, err := dev.CaptureIdleBoth(16)
+		if err != nil {
+			return 0, 0, err
+		}
+		noiS = append(noiS, s.Samples...)
+		noiP = append(noiP, p.Samples...)
+		// Signal record: back-to-back encryptions.
+		sTr, pTr, err := dev.CaptureBoth()
+		if err != nil {
+			return 0, 0, err
+		}
+		sigS = append(sigS, sTr.Samples...)
+		sigP = append(sigP, pTr.Samples...)
+	}
+	return dsp.SNRdB(sigS, noiS), dsp.SNRdB(sigP, noiP), nil
+}
+
+func main() {
+	fmt.Printf("%-22s %14s %14s %12s\n", "setup", "sensor (dB)", "probe (dB)", "gap (dB)")
+	for _, m := range []struct {
+		name        string
+		measurement bool
+		paperS      float64
+		paperP      float64
+	}{
+		{"simulation (IV-B)", false, 29.976, 17.483},
+		{"fabricated (V-A)", true, 30.5489, 13.8684},
+	} {
+		s, p, err := measure(m.measurement)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-22s %14.2f %14.2f %12.2f\n", m.name, s, p, s-p)
+		fmt.Printf("%-22s %14.2f %14.2f %12.2f\n", "  (paper)", m.paperS, m.paperP, m.paperS-m.paperP)
+	}
+	fmt.Println("\nThe spiral on the top metal layer keeps its advantage on silicon,")
+	fmt.Println("while the external probe loses ~4 dB to lab interference.")
+}

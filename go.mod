@@ -1,0 +1,3 @@
+module emtrust
+
+go 1.22

@@ -1,0 +1,77 @@
+// Package aes provides two implementations of AES-128: a behavioral
+// software model (verified against crypto/aes) and a structural gate-level
+// netlist generator whose S-boxes compute the GF(2^8) inversion as an
+// explicit x^254 exponentiation circuit. The gate-level design is the
+// "target circuit" of the paper: a 128-bit AES in 180 nm with roughly
+// 33 k gates (Table I).
+package aes
+
+// Poly is the AES field polynomial x^8 + x^4 + x^3 + x + 1.
+const Poly = 0x11b
+
+// Mul multiplies two elements of GF(2^8) modulo Poly.
+func Mul(a, b byte) byte {
+	var p uint16
+	x := uint16(a)
+	for i := 0; i < 8; i++ {
+		if b>>uint(i)&1 == 1 {
+			p ^= x << uint(i)
+		}
+	}
+	return reduce(p)
+}
+
+// reduce folds a 15-bit polynomial product back into GF(2^8).
+func reduce(p uint16) byte {
+	for i := 14; i >= 8; i-- {
+		if p>>uint(i)&1 == 1 {
+			p ^= uint16(Poly) << uint(i-8)
+		}
+	}
+	return byte(p)
+}
+
+// Inv returns the multiplicative inverse of a in GF(2^8) (0 maps to 0, as
+// the AES S-box requires).
+func Inv(a byte) byte {
+	// a^254 via square-and-multiply: the same addition chain the
+	// structural S-box uses, so the software model exercises identical
+	// math.
+	if a == 0 {
+		return 0
+	}
+	x2 := Mul(a, a)
+	x3 := Mul(x2, a)
+	x6 := Mul(x3, x3)
+	x12 := Mul(x6, x6)
+	x15 := Mul(x12, x3)
+	x30 := Mul(x15, x15)
+	x60 := Mul(x30, x30)
+	x120 := Mul(x60, x60)
+	x240 := Mul(x120, x120)
+	x252 := Mul(x240, x12)
+	return Mul(x252, x2)
+}
+
+// XTime multiplies by x (i.e. 2) in GF(2^8).
+func XTime(a byte) byte {
+	v := uint16(a) << 1
+	if v&0x100 != 0 {
+		v ^= Poly
+	}
+	return byte(v)
+}
+
+// reductionMask returns the GF(2^8) representation of x^k for k in
+// [0, 14]: the constants the structural multiplier uses to fold high
+// partial-product columns back into the byte.
+func reductionMask(k int) byte {
+	if k < 8 {
+		return 1 << uint(k)
+	}
+	return reduce(1 << uint(k))
+}
+
+// squareMask returns the GF(2^8) representation of (x^i)^2 = x^(2i),
+// the column of the linear squaring map for input bit i.
+func squareMask(i int) byte { return reductionMask(2 * i) }

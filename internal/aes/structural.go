@@ -1,0 +1,346 @@
+package aes
+
+import (
+	"fmt"
+
+	"emtrust/internal/netlist"
+)
+
+// Structural generator for the gate-level AES-128 core.
+//
+// Interface of the generated module:
+//
+//	inputs:  pt[128], key[128], start[1]
+//	outputs: ct[128], done[1], busy[1]
+//
+// Bit b of the pt/ct/key buses is bit (b%8) of byte (b/8) in FIPS input
+// order, so byte i of a []byte block maps to bus bits 8i..8i+7 (LSB
+// first).
+//
+// The core is iterative: one AES round per clock cycle with an on-the-fly
+// key schedule, 20 S-boxes total (16 datapath + 4 key schedule), exactly
+// the micro-architecture class the paper fabricates (about 33 k gates in
+// 180 nm, Table I).
+
+// Ports used by the generated AES core.
+const (
+	PortPT    = "pt"
+	PortKey   = "key"
+	PortStart = "start"
+	PortCT    = "ct"
+	PortDone  = "done"
+	PortBusy  = "busy"
+)
+
+// Latency is the number of clock cycles from asserting start to done:
+// one load cycle plus ten round cycles.
+const Latency = 11
+
+// Generate builds the AES core into b under the region tag "aes". It
+// returns the module's port nets for callers that embed the core in a
+// larger design (the chip model wires Trojans to these).
+type Core struct {
+	PT, Key []netlist.Net
+	Start   netlist.Net
+	CT      []netlist.Net
+	Done    netlist.Net
+	Busy    netlist.Net
+	// State exposes the 128 state-register outputs; Trojans tap these
+	// internal nets exactly as a foundry-inserted Trojan would.
+	State []netlist.Net
+	// RoundKey exposes the 128 round-key register outputs (the running
+	// key material that leakage Trojans target).
+	RoundKey []netlist.Net
+}
+
+// Generate constructs the gate-level AES-128 core inside the builder and
+// declares its ports. The caller provides pt, key and start nets (usually
+// freshly declared inputs).
+func Generate(b *netlist.Builder) *Core {
+	b.PushRegion("aes")
+	defer b.PopRegion()
+
+	pt := b.Input(PortPT, 128)
+	key := b.Input(PortKey, 128)
+	start := b.Input(PortStart, 1)[0]
+
+	core := generateBody(b, pt, key, start)
+	b.Output(PortCT, core.CT)
+	b.Output(PortDone, []netlist.Net{core.Done})
+	b.Output(PortBusy, []netlist.Net{core.Busy})
+	return core
+}
+
+// generateBody builds the AES datapath and control given already-existing
+// input nets. Split out so tests and the chip model can compose it.
+func generateBody(b *netlist.Builder, pt, key []netlist.Net, start netlist.Net) *Core {
+	if len(pt) != 128 || len(key) != 128 {
+		panic(fmt.Sprintf("aes: Generate needs 128-bit pt/key, got %d/%d", len(pt), len(key)))
+	}
+
+	// --- Control -----------------------------------------------------
+	b.PushRegion("ctrl")
+	// running flip-flop: set by start, cleared after the final round.
+	roundQ := make([]netlist.Net, 4) // round counter register outputs
+	roundCells := make([]int, 4)     // cell indices for later patching
+	running := b.Reg(b.Low())        // D patched below
+	runningCell := b.NumCells() - 1  // index of the running DFF
+	for i := range roundQ {
+		roundQ[i] = b.Reg(b.Low()) // D patched below
+		roundCells[i] = b.NumCells() - 1
+	}
+	isFinal := b.EqualsConst(roundQ, 10)
+	// running' = start OR (running AND NOT final)
+	keepRunning := b.And(running, b.Not(isFinal))
+	runningD := b.Or(start, keepRunning)
+	b.PatchCellInput(runningCell, 0, runningD)
+	// round' = start ? 1 : running ? round+1 : round
+	inc := b.Incrementer(roundQ)
+	held := b.MuxBus(roundQ, inc, running)
+	loaded := b.MuxBus(held, b.ConstBus(1, 4), start)
+	for i, ci := range roundCells {
+		b.PatchCellInput(ci, 0, loaded[i])
+	}
+	// done pulses one cycle after the final round completes.
+	doneD := b.And(running, isFinal)
+	done := b.Reg(doneD)
+	stateEn := b.Or(start, running)
+	b.PopRegion()
+
+	// --- Key schedule ------------------------------------------------
+	b.PushRegion("keysched")
+	rkeyQ := make([]netlist.Net, 128)
+	rkeyCells := make([]int, 128)
+	for i := range rkeyQ {
+		rkeyQ[i] = b.RegE(b.Low(), stateEn) // D patched below
+		rkeyCells[i] = b.NumCells() - 1
+	}
+	rconBus := rconDecoder(b, roundQ)
+	nextKey := keyExpand(b, rkeyQ, rconBus)
+	for i, ci := range rkeyCells {
+		d := b.Mux(nextKey[i], key[i], start)
+		b.PatchCellInput(ci, 0, d)
+	}
+	b.PopRegion()
+
+	// --- Datapath ----------------------------------------------------
+	b.PushRegion("round")
+	stateQ := make([]netlist.Net, 128)
+	stateCells := make([]int, 128)
+	for i := range stateQ {
+		stateQ[i] = b.RegE(b.Low(), stateEn) // D patched below
+		stateCells[i] = b.NumCells() - 1
+	}
+	sb := subBytesNet(b, stateQ)
+	sr := shiftRowsNet(sb)
+	mc := mixColumnsNet(b, sr)
+	normal := b.XorBus(mc, nextKey)
+	final := b.XorBus(sr, nextKey)
+	roundOut := b.MuxBus(normal, final, isFinal)
+	load := b.XorBus(pt, key)
+	for i, ci := range stateCells {
+		d := b.Mux(roundOut[i], load[i], start)
+		b.PatchCellInput(ci, 0, d)
+	}
+	b.PopRegion()
+
+	return &Core{
+		PT: pt, Key: key, Start: start,
+		CT: stateQ, Done: done, Busy: stateEn,
+		State: stateQ, RoundKey: rkeyQ,
+	}
+}
+
+// rconDecoder produces the 8-bit round constant as a function of the
+// 4-bit round counter.
+func rconDecoder(b *netlist.Builder, round []netlist.Net) []netlist.Net {
+	// one-hot round match terms for rounds 1..10
+	match := make([]netlist.Net, 11)
+	for r := 1; r <= 10; r++ {
+		match[r] = b.EqualsConst(round, uint64(r))
+	}
+	out := make([]netlist.Net, 8)
+	for bit := 0; bit < 8; bit++ {
+		var terms []netlist.Net
+		for r := 1; r <= 10; r++ {
+			if Rcon(r)>>uint(bit)&1 == 1 {
+				terms = append(terms, match[r])
+			}
+		}
+		out[bit] = b.ReduceOr(terms)
+	}
+	return out
+}
+
+// keyExpand computes the next 128-bit round key from the current one and
+// the round constant, following the AES-128 schedule. Bit layout matches
+// the pt/key buses: byte i at bits 8i..8i+7, where byte index is the FIPS
+// key byte order (word w = bytes 4w..4w+3).
+func keyExpand(b *netlist.Builder, rkey, rcon []netlist.Net) []netlist.Net {
+	byteOf := func(bus []netlist.Net, i int) []netlist.Net { return bus[8*i : 8*i+8] }
+	// temp = SubWord(RotWord(w3)) ^ (rcon, 0, 0, 0)
+	// w3 bytes are key bytes 12..15; RotWord gives (13, 14, 15, 12).
+	rot := [4]int{13, 14, 15, 12}
+	temp := make([][]netlist.Net, 4)
+	for k := 0; k < 4; k++ {
+		s := sboxNet(b, byteOf(rkey, rot[k]))
+		if k == 0 {
+			s = b.XorBus(s, rcon)
+		}
+		temp[k] = s
+	}
+	out := make([]netlist.Net, 128)
+	prev := temp[:]
+	for w := 0; w < 4; w++ {
+		next := make([][]netlist.Net, 4)
+		for k := 0; k < 4; k++ {
+			nb := b.XorBus(byteOf(rkey, 4*w+k), prev[k])
+			next[k] = nb
+			copy(out[8*(4*w+k):], nb)
+		}
+		prev = next
+	}
+	return out
+}
+
+// subBytesNet instantiates 16 S-boxes over the 128-bit state.
+func subBytesNet(b *netlist.Builder, state []netlist.Net) []netlist.Net {
+	out := make([]netlist.Net, 128)
+	for i := 0; i < 16; i++ {
+		b.PushRegion(fmt.Sprintf("sbox%d", i))
+		copy(out[8*i:], sboxNet(b, state[8*i:8*i+8]))
+		b.PopRegion()
+	}
+	return out
+}
+
+// shiftRowsNet permutes state bytes; pure wiring, no gates. State byte
+// index is r+4c (FIPS layout), matching the behavioral model.
+func shiftRowsNet(state []netlist.Net) []netlist.Net {
+	out := make([]netlist.Net, 128)
+	for r := 0; r < 4; r++ {
+		for c := 0; c < 4; c++ {
+			src := r + 4*((c+r)%4)
+			dst := r + 4*c
+			copy(out[8*dst:8*dst+8], state[8*src:8*src+8])
+		}
+	}
+	return out
+}
+
+// mixColumnsNet builds the MixColumns XOR network.
+func mixColumnsNet(b *netlist.Builder, state []netlist.Net) []netlist.Net {
+	out := make([]netlist.Net, 128)
+	byteOf := func(i int) []netlist.Net { return state[8*i : 8*i+8] }
+	for c := 0; c < 4; c++ {
+		a0, a1, a2, a3 := byteOf(4*c), byteOf(4*c+1), byteOf(4*c+2), byteOf(4*c+3)
+		x0, x1, x2, x3 := xtimeNet(b, a0), xtimeNet(b, a1), xtimeNet(b, a2), xtimeNet(b, a3)
+		rows := [][]netlist.Net{
+			xorMany(b, x0, x1, a1, a2, a3),
+			xorMany(b, a0, x1, x2, a2, a3),
+			xorMany(b, a0, a1, x2, x3, a3),
+			xorMany(b, x0, a0, a1, a2, x3),
+		}
+		for r, row := range rows {
+			copy(out[8*(r+4*c):], row)
+		}
+	}
+	return out
+}
+
+// xtimeNet multiplies a byte bus by 2 in GF(2^8): shift left and fold the
+// carry through the field polynomial (bits 0,1,3,4 get the carry).
+func xtimeNet(b *netlist.Builder, a []netlist.Net) []netlist.Net {
+	out := make([]netlist.Net, 8)
+	carry := a[7]
+	for i := 7; i >= 1; i-- {
+		out[i] = a[i-1]
+	}
+	out[0] = carry
+	for _, bit := range []int{1, 3, 4} {
+		out[bit] = b.Xor(out[bit], carry)
+	}
+	return out
+}
+
+func xorMany(b *netlist.Builder, buses ...[]netlist.Net) []netlist.Net {
+	acc := buses[0]
+	for _, x := range buses[1:] {
+		acc = b.XorBus(acc, x)
+	}
+	return acc
+}
+
+// sboxNet builds one AES S-box over an 8-bit bus: GF(2^8) inversion as
+// x^254 followed by the affine transformation.
+func sboxNet(b *netlist.Builder, x []netlist.Net) []netlist.Net {
+	x2 := gfSquareNet(b, x)
+	x3 := gfMulNet(b, x2, x)
+	x6 := gfSquareNet(b, x3)
+	x12 := gfSquareNet(b, x6)
+	x15 := gfMulNet(b, x12, x3)
+	x30 := gfSquareNet(b, x15)
+	x60 := gfSquareNet(b, x30)
+	x120 := gfSquareNet(b, x60)
+	x240 := gfSquareNet(b, x120)
+	x252 := gfMulNet(b, x240, x12)
+	inv := gfMulNet(b, x252, x2)
+	return affineNet(b, inv)
+}
+
+// gfMulNet builds a full GF(2^8) multiplier: 64 partial products folded
+// through the field polynomial.
+func gfMulNet(b *netlist.Builder, x, y []netlist.Net) []netlist.Net {
+	// terms[m] collects the nets that XOR into output bit m.
+	var terms [8][]netlist.Net
+	for i := 0; i < 8; i++ {
+		for j := 0; j < 8; j++ {
+			pp := b.And(x[i], y[j])
+			mask := reductionMask(i + j)
+			for m := 0; m < 8; m++ {
+				if mask>>uint(m)&1 == 1 {
+					terms[m] = append(terms[m], pp)
+				}
+			}
+		}
+	}
+	out := make([]netlist.Net, 8)
+	for m := range out {
+		out[m] = b.ReduceXor(terms[m])
+	}
+	return out
+}
+
+// gfSquareNet builds the linear squaring map of GF(2^8).
+func gfSquareNet(b *netlist.Builder, x []netlist.Net) []netlist.Net {
+	var terms [8][]netlist.Net
+	for i := 0; i < 8; i++ {
+		mask := squareMask(i)
+		for m := 0; m < 8; m++ {
+			if mask>>uint(m)&1 == 1 {
+				terms[m] = append(terms[m], x[i])
+			}
+		}
+	}
+	out := make([]netlist.Net, 8)
+	for m := range out {
+		out[m] = b.ReduceXor(terms[m])
+	}
+	return out
+}
+
+// affineNet applies the AES affine transformation y = M*x ^ 0x63.
+func affineNet(b *netlist.Builder, x []netlist.Net) []netlist.Net {
+	out := make([]netlist.Net, 8)
+	for i := 0; i < 8; i++ {
+		bit := b.Xor(x[i], x[(i+4)%8])
+		bit = b.Xor(bit, x[(i+5)%8])
+		bit = b.Xor(bit, x[(i+6)%8])
+		bit = b.Xor(bit, x[(i+7)%8])
+		if 0x63>>uint(i)&1 == 1 {
+			bit = b.Not(bit)
+		}
+		out[i] = bit
+	}
+	return out
+}

@@ -1,0 +1,439 @@
+// Package chip assembles the full virtual device of the paper's
+// experiments: the gate-level AES-128, the four digital Trojans, the
+// A2-style analog Trojan, a floorplan with the on-chip spiral sensor on
+// the top metal layer, the external probe above the package, and the
+// switching-current to EM-emf pipeline. It is the stand-in for the
+// fabricated 180 nm chip of Section V.
+package chip
+
+import (
+	"fmt"
+	"math/rand"
+
+	"emtrust/internal/aes"
+	"emtrust/internal/analog"
+	"emtrust/internal/emfield"
+	"emtrust/internal/layout"
+	"emtrust/internal/logic"
+	"emtrust/internal/netlist"
+	"emtrust/internal/power"
+	"emtrust/internal/trace"
+	"emtrust/internal/trojan"
+)
+
+// Config describes one chip build.
+type Config struct {
+	// WithTrojans selects the infected chip (the golden reference chip
+	// carries only the AES and the clock divider).
+	WithTrojans bool
+	// WithA2 adds the analog Trojan watching the clock-division wire.
+	WithA2 bool
+
+	Trojan trojan.Config
+	A2     analog.A2Config
+	Power  power.Config
+	Layout layout.Config
+
+	// Sensor geometry: nested-rectangle spiral turns on the top metal
+	// layer at SpiralZ above the devices.
+	SpiralTurns int
+	SpiralZ     float64
+	// External probe geometry: same-diameter turn stack at ProbeZ.
+	ProbeRadius float64
+	ProbeTurns  int
+	ProbeZ      float64
+	ProbePitch  float64
+	// TileLoopArea is the effective supply-loop area of one tile's
+	// switching current (the dipole strength per ampere).
+	TileLoopArea float64
+	// Quad is the boundary-integral resolution for coupling
+	// precomputation.
+	Quad int
+
+	// Seed drives every stochastic element (plaintexts, noise) so
+	// experiments are reproducible.
+	Seed int64
+}
+
+// DefaultConfig returns the experiment configuration: 12 MHz clock,
+// 180 nm-style layout, a 10-turn spiral 5 um above the devices, and a
+// LANGER-style probe 100 um above the die (the paper's package
+// thickness).
+func DefaultConfig() Config {
+	return Config{
+		WithTrojans:  true,
+		WithA2:       true,
+		Trojan:       trojan.DefaultConfig(),
+		A2:           analog.DefaultA2Config(),
+		Power:        power.DefaultConfig(),
+		Layout:       layout.DefaultConfig(),
+		SpiralTurns:  10,
+		SpiralZ:      5e-6,
+		ProbeRadius:  0.5e-3,
+		ProbeTurns:   8,
+		ProbeZ:       100e-6,
+		ProbePitch:   20e-6,
+		TileLoopArea: 25e-12,
+		Quad:         96,
+		Seed:         1,
+	}
+}
+
+// Chip is one built and placed device with its measurement coils.
+type Chip struct {
+	cfg  Config
+	n    *netlist.Netlist
+	sim  *logic.Simulator
+	fp   *layout.Floorplan
+	rec  *power.Recorder
+	core *aes.Core
+
+	sensor *emfield.Coupling
+	probe  *emfield.Coupling
+
+	trojans map[trojan.Kind]*trojan.Instance
+	t2Tile  int // tile of the T2 crowbar cells
+
+	a2        *analog.A2
+	a2Victim  netlist.Net
+	a2Tile    int
+	a2Enabled bool
+
+	rng *rand.Rand
+}
+
+// New builds, places and couples a chip.
+func New(cfg Config) (*Chip, error) {
+	b := netlist.NewBuilder(chipName(cfg))
+	core := aes.Generate(b)
+
+	// Clock-division wire: bit 0 of a free-running divider toggles every
+	// cycle; it is the A2 Trojan's victim and trigger source, matching
+	// "the trigger input ... is provided by the on-chip clock division
+	// signal".
+	b.SetRegion("clkdiv")
+	div := b.Counter(2, netlist.InvalidNet)
+	b.Output("clkdiv", div)
+	b.SetRegion("")
+
+	trojans := make(map[trojan.Kind]*trojan.Instance)
+	if cfg.WithTrojans {
+		for _, k := range trojan.Kinds() {
+			trojans[k] = trojan.Generate(b, core, k, cfg.Trojan)
+		}
+	}
+	n := b.Build()
+	sim, err := logic.New(n)
+	if err != nil {
+		return nil, err
+	}
+	fp, err := layout.Place(n, cfg.Layout)
+	if err != nil {
+		return nil, err
+	}
+	rec, err := power.NewRecorder(cfg.Power, fp)
+	if err != nil {
+		return nil, err
+	}
+	spiral := emfield.OnChipSpiral(fp.Die, cfg.SpiralTurns, cfg.SpiralZ)
+	sensor, err := emfield.NewCoupling(spiral, fp.Grid, cfg.TileLoopArea, cfg.Quad)
+	if err != nil {
+		return nil, err
+	}
+	probeCoil := emfield.ExternalProbe(fp.Die, cfg.ProbeRadius, cfg.ProbeTurns, cfg.ProbeZ, cfg.ProbePitch)
+	probe, err := emfield.NewCoupling(probeCoil, fp.Grid, cfg.TileLoopArea, cfg.Quad)
+	if err != nil {
+		return nil, err
+	}
+
+	c := &Chip{
+		cfg: cfg, n: n, sim: sim, fp: fp, rec: rec, core: core,
+		sensor: sensor, probe: probe,
+		trojans: trojans,
+		rng:     rand.New(rand.NewSource(cfg.Seed)),
+	}
+	if inst, ok := trojans[trojan.T2LeakageCurrent]; ok {
+		// The crowbar pairs sit with the rest of the T2 block; use the
+		// leak wire's driver cell tile as the injection point.
+		c.t2Tile = fp.Grid.CellTile[n.Driver(inst.LeakWire)]
+	}
+	if cfg.WithA2 {
+		c.a2 = analog.NewA2(cfg.A2)
+		p, ok := n.OutputPort("clkdiv")
+		if !ok {
+			return nil, fmt.Errorf("chip: clkdiv port missing")
+		}
+		c.a2Victim = p.Nets[0]
+		c.a2Tile = fp.Grid.CellTile[n.Driver(c.a2Victim)]
+	}
+	return c, nil
+}
+
+func chipName(cfg Config) string {
+	if cfg.WithTrojans {
+		return "aes_infected"
+	}
+	return "aes_golden"
+}
+
+// Netlist returns the chip's gate-level design.
+func (c *Chip) Netlist() *netlist.Netlist { return c.n }
+
+// Floorplan returns the placed design.
+func (c *Chip) Floorplan() *layout.Floorplan { return c.fp }
+
+// Config returns the build configuration.
+func (c *Chip) Config() Config { return c.cfg }
+
+// A2 returns the analog Trojan instance, or nil.
+func (c *Chip) A2() *analog.A2 { return c.a2 }
+
+// Trojan returns the instance of the given kind, or nil on a golden chip.
+func (c *Chip) Trojan(kind trojan.Kind) *trojan.Instance { return c.trojans[kind] }
+
+// Rand returns the chip's deterministic random stream (shared with the
+// acquisition channels so a whole experiment reproduces from one seed).
+func (c *Chip) Rand() *rand.Rand { return c.rng }
+
+// SetTrojan switches a digital Trojan's external trigger and advances one
+// cycle so the activation flag registers, mirroring the measurement
+// procedure of Section V-B ("the Trojans are activated in sequence").
+func (c *Chip) SetTrojan(kind trojan.Kind, on bool) error {
+	if _, ok := c.trojans[kind]; !ok {
+		return fmt.Errorf("chip: %v not present on %s", kind, c.n.Name)
+	}
+	v := uint64(0)
+	if on {
+		v = 1
+	}
+	if err := c.sim.SetPortUint(kind.TriggerPort(), v); err != nil {
+		return err
+	}
+	c.sim.Settle()
+	c.sim.Tick()
+	return nil
+}
+
+// DeactivateAll clears every digital Trojan trigger.
+func (c *Chip) DeactivateAll() error {
+	for k := range c.trojans {
+		if err := c.SetTrojan(k, false); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// EnableA2 resets (and re-arms) the analog Trojan; disable detaches it.
+func (c *Chip) EnableA2(on bool) {
+	if c.a2 == nil {
+		return
+	}
+	c.a2.Reset()
+	c.a2Enabled = on
+}
+
+// Capture runs one trace capture of the given number of clock cycles.
+// The workload is one AES encryption of a random plaintext under the
+// given key, started at cycle 2; Trojan and analog activity continue for
+// the whole window. It returns the clean (noise-free) sensor and probe
+// waveforms.
+func (c *Chip) Capture(key []byte, cycles int) (*Capture, error) {
+	if cycles < aes.Latency+3 {
+		return nil, fmt.Errorf("chip: capture of %d cycles cannot contain an encryption (need >= %d)", cycles, aes.Latency+3)
+	}
+	pt := make([]byte, 16)
+	c.rng.Read(pt)
+	return c.CapturePT(pt, key, cycles)
+}
+
+// CapturePT is Capture with a caller-chosen plaintext.
+func (c *Chip) CapturePT(pt, key []byte, cycles int) (*Capture, error) {
+	if len(pt) != 16 || len(key) != 16 {
+		return nil, fmt.Errorf("chip: need 16-byte pt and key")
+	}
+	s := c.sim
+	c.rec.Begin(cycles)
+	s.OnToggle = c.rec.OnToggle
+	defer func() { s.OnToggle = nil }()
+
+	// Cycle 0: idle lead-in.
+	if err := c.tick(); err != nil {
+		return nil, err
+	}
+	// Set up the encryption; the input settle happens inside the cycle.
+	if err := s.SetPortBits(aes.PortPT, aes.BytesToBits(pt)); err != nil {
+		return nil, err
+	}
+	if err := s.SetPortBits(aes.PortKey, aes.BytesToBits(key)); err != nil {
+		return nil, err
+	}
+	if err := s.SetPortUint(aes.PortStart, 1); err != nil {
+		return nil, err
+	}
+	s.Settle()
+	if err := c.tick(); err != nil { // load edge
+		return nil, err
+	}
+	if err := s.SetPortUint(aes.PortStart, 0); err != nil {
+		return nil, err
+	}
+	s.Settle()
+	for i := 2; i < cycles; i++ {
+		if err := c.tick(); err != nil {
+			return nil, err
+		}
+	}
+	currents := c.rec.Currents()
+	dt := c.rec.Dt()
+	return &Capture{
+		Sensor: c.sensor.EMF(currents, dt),
+		Probe:  c.probe.EMF(currents, dt),
+		Dt:     dt,
+		Tiles:  currents,
+	}, nil
+}
+
+// CaptureIdle runs a capture with no encryption: the Section V-A noise
+// measurement ("the chip is powered up without executing the
+// encryption"). Only the clock tree and any active Trojans draw current.
+func (c *Chip) CaptureIdle(cycles int) (*Capture, error) {
+	c.rec.Begin(cycles)
+	c.sim.OnToggle = c.rec.OnToggle
+	defer func() { c.sim.OnToggle = nil }()
+	for i := 0; i < cycles; i++ {
+		if err := c.tick(); err != nil {
+			return nil, err
+		}
+	}
+	currents := c.rec.Currents()
+	dt := c.rec.Dt()
+	return &Capture{
+		Sensor: c.sensor.EMF(currents, dt),
+		Probe:  c.probe.EMF(currents, dt),
+		Dt:     dt,
+		Tiles:  currents,
+	}, nil
+}
+
+// tick advances one clock cycle inside a capture: gate-level simulation,
+// then the analog hooks, then the waveform flush.
+func (c *Chip) tick() error {
+	c.sim.Tick()
+	// T2 crowbar leakage: static current while active and the head bit
+	// of the leakage shift register is low.
+	if inst, ok := c.trojans[trojan.T2LeakageCurrent]; ok {
+		if c.sim.Net(inst.Active) == 1 && c.sim.Net(inst.LeakWire) == 0 {
+			c.rec.AddStaticCurrent(c.t2Tile, c.cfg.Power.CrowbarCurrent*float64(inst.CrowbarPairs))
+		}
+	}
+	// A2 charge pump on the clock-division wire.
+	if c.a2 != nil && c.a2Enabled {
+		res := c.a2.Step(c.sim.Net(c.a2Victim))
+		if res.Pumped {
+			c.rec.AddFastToggles(c.a2Tile, 1, c.a2.Config().PumpCharge)
+		}
+		if res.FastToggles > 0 {
+			c.rec.AddFastToggles(c.a2Tile, res.FastToggles, c.a2.Config().TriggerCharge)
+		}
+	}
+	return c.rec.EndCycle()
+}
+
+// WithStuckAt returns a new chip identical to c except for a stuck-at
+// fault on the given net (a fabrication defect or a crude tampering
+// attempt). Floorplan and coil couplings are shared — the die geometry
+// does not change — but the gate-level simulator and activity recorder
+// are rebuilt for the mutated netlist.
+func (c *Chip) WithStuckAt(net netlist.Net, value bool) (*Chip, error) {
+	mutated, err := c.n.StuckAt(net, value)
+	if err != nil {
+		return nil, err
+	}
+	sim, err := logic.New(mutated)
+	if err != nil {
+		return nil, err
+	}
+	rec, err := power.NewRecorder(c.cfg.Power, c.fp)
+	if err != nil {
+		return nil, err
+	}
+	out := *c
+	out.n = mutated
+	out.sim = sim
+	out.rec = rec
+	if c.a2 != nil {
+		out.a2 = analog.NewA2(c.cfg.A2)
+	}
+	return &out, nil
+}
+
+// ResetState zeroes every register and re-settles the design, so the
+// next capture starts from a known all-zero state (side-channel attack
+// workloads depend on a fixed pre-encryption state).
+func (c *Chip) ResetState() {
+	c.sim.Reset()
+	if c.a2 != nil {
+		c.a2.Reset()
+	}
+}
+
+// Ciphertext returns the AES output register contents (valid after a
+// capture whose encryption completed).
+func (c *Chip) Ciphertext() ([]byte, error) {
+	bits, err := c.sim.PortBits(aes.PortCT)
+	if err != nil {
+		return nil, err
+	}
+	return aes.BitsToBytes(bits), nil
+}
+
+// Capture is the clean dual-channel output of one trace window.
+type Capture struct {
+	Sensor []float64 // on-chip spiral emf (volts)
+	Probe  []float64 // external probe emf (volts)
+	Dt     float64
+	// Tiles holds the per-tile supply-current waveforms behind the emf
+	// synthesis, indexed [tile][sample]. The slices alias the
+	// recorder's buffers and are only valid until the next capture on
+	// the same chip; consumers (like the ring-oscillator baseline)
+	// must read them immediately or copy.
+	Tiles [][]float64
+}
+
+// Channels bundles the two acquisition channels of an experiment.
+type Channels struct {
+	Sensor trace.Acquisition
+	Probe  trace.Acquisition
+}
+
+// SimulationChannels returns the Section IV noise setup: white noise
+// only, with the external probe picking up several times more
+// environment noise than the shielded on-chip sensor. The floors are
+// calibrated so the default workload lands near the paper's simulated
+// SNRs (29.98 dB on-chip, 17.48 dB external).
+func SimulationChannels() Channels {
+	return Channels{
+		Sensor: trace.SimulationChannel(1e-8),
+		Probe:  trace.SimulationChannel(3.8e-8),
+	}
+}
+
+// MeasurementChannels returns the Section V setup: the probe also picks
+// up narrowband lab interference and both channels pass through the
+// oscilloscope ADC, which is why the fabricated chip's external probe
+// reads worse (13.87 dB) than its simulation (17.48 dB) while the
+// on-chip sensor barely moves (30.55 dB).
+func MeasurementChannels() Channels {
+	s := trace.MeasurementChannel(1e-8, 2e-9, 4e-6)
+	p := trace.MeasurementChannel(1.9e-8, 5.8e-8, 4e-6)
+	s.ADCBits, p.ADCBits = 10, 10
+	return Channels{Sensor: s, Probe: p}
+}
+
+// Acquire converts a clean capture into measured traces on both channels.
+func (c *Chip) Acquire(cap *Capture, ch Channels) (sensor, probe *trace.Trace) {
+	sensor = ch.Sensor.Acquire(cap.Sensor, cap.Dt, c.rng)
+	probe = ch.Probe.Acquire(cap.Probe, cap.Dt, c.rng)
+	return sensor, probe
+}

@@ -1,0 +1,321 @@
+package chip
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+
+	"emtrust/internal/aes"
+	"emtrust/internal/dsp"
+	"emtrust/internal/netlist"
+	"emtrust/internal/trojan"
+)
+
+// Building a chip is expensive (~20 k cell netlist plus coupling
+// precompute); share instances across tests.
+var (
+	infectedOnce sync.Once
+	infectedChip *Chip
+	goldenOnce   sync.Once
+	goldenChip   *Chip
+)
+
+func infected(t testing.TB) *Chip {
+	t.Helper()
+	infectedOnce.Do(func() {
+		c, err := New(DefaultConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		infectedChip = c
+	})
+	if infectedChip == nil {
+		t.Fatal("infected chip failed to build earlier")
+	}
+	return infectedChip
+}
+
+func golden(t testing.TB) *Chip {
+	t.Helper()
+	goldenOnce.Do(func() {
+		cfg := DefaultConfig()
+		cfg.WithTrojans = false
+		cfg.WithA2 = false
+		c, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		goldenChip = c
+	})
+	if goldenChip == nil {
+		t.Fatal("golden chip failed to build earlier")
+	}
+	return goldenChip
+}
+
+var testKey = []byte{0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6, 0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf, 0x4f, 0x3c}
+
+func TestGoldenChipHasNoTrojans(t *testing.T) {
+	c := golden(t)
+	for _, k := range trojan.Kinds() {
+		if c.Trojan(k) != nil {
+			t.Fatalf("golden chip carries %v", k)
+		}
+		if err := c.SetTrojan(k, true); err == nil {
+			t.Fatalf("activating %v on the golden chip must fail", k)
+		}
+	}
+	if c.A2() != nil {
+		t.Fatal("golden chip carries the A2 Trojan")
+	}
+	if c.Netlist().Name != "aes_golden" {
+		t.Fatalf("name = %s", c.Netlist().Name)
+	}
+}
+
+func TestInfectedChipInventory(t *testing.T) {
+	c := infected(t)
+	for _, k := range trojan.Kinds() {
+		if c.Trojan(k) == nil {
+			t.Fatalf("missing %v", k)
+		}
+	}
+	if c.A2() == nil {
+		t.Fatal("missing A2")
+	}
+	if c.Config().Seed != DefaultConfig().Seed {
+		t.Fatal("config not retained")
+	}
+	if c.Floorplan() == nil || c.Netlist() == nil || c.Rand() == nil {
+		t.Fatal("accessors broken")
+	}
+}
+
+func TestCaptureEncryptsCorrectly(t *testing.T) {
+	c := golden(t)
+	pt := []byte{0x32, 0x43, 0xf6, 0xa8, 0x88, 0x5a, 0x30, 0x8d, 0x31, 0x31, 0x98, 0xa2, 0xe0, 0x37, 0x07, 0x34}
+	want := make([]byte, 16)
+	aes.NewCipher(testKey).Encrypt(want, pt)
+	if _, err := c.CapturePT(pt, testKey, 20); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Ciphertext()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("capture ciphertext %x, want %x", got, want)
+	}
+}
+
+func TestCaptureShapes(t *testing.T) {
+	c := golden(t)
+	cap, err := c.Capture(testKey, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantLen := 24 * c.Config().Power.SamplesPerCycle
+	if len(cap.Sensor) != wantLen || len(cap.Probe) != wantLen {
+		t.Fatalf("lengths %d/%d, want %d", len(cap.Sensor), len(cap.Probe), wantLen)
+	}
+	if cap.Dt != c.Config().Power.Dt() {
+		t.Fatal("dt mismatch")
+	}
+	if dsp.RMS(cap.Sensor) == 0 || dsp.RMS(cap.Probe) == 0 {
+		t.Fatal("silent capture")
+	}
+	if _, err := c.Capture(testKey, 5); err == nil {
+		t.Fatal("too-short capture must error")
+	}
+	if _, err := c.CapturePT(make([]byte, 3), testKey, 24); err == nil {
+		t.Fatal("short pt must error")
+	}
+}
+
+func TestIdleQuieterThanActive(t *testing.T) {
+	c := golden(t)
+	idle, err := c.CaptureIdle(24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	active, err := c.Capture(testKey, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dsp.RMS(idle.Sensor)*2 > dsp.RMS(active.Sensor) {
+		t.Fatalf("idle sensor RMS %g not well below active %g", dsp.RMS(idle.Sensor), dsp.RMS(active.Sensor))
+	}
+}
+
+func TestTrojanActivationChangesEM(t *testing.T) {
+	c := infected(t)
+	if err := c.DeactivateAll(); err != nil {
+		t.Fatal(err)
+	}
+	base, err := c.Capture(testKey, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseRMS := dsp.RMS(base.Sensor)
+	for _, k := range []trojan.Kind{trojan.T2LeakageCurrent, trojan.T4PowerHog} {
+		if err := c.SetTrojan(k, true); err != nil {
+			t.Fatal(err)
+		}
+		cap, err := c.Capture(testKey, 24)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := dsp.RMS(cap.Sensor); got <= baseRMS*1.02 {
+			t.Errorf("%v active: sensor RMS %g not above baseline %g", k, got, baseRMS)
+		}
+		if err := c.SetTrojan(k, false); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestSimulatedSNRGap(t *testing.T) {
+	c := golden(t)
+	ch := SimulationChannels()
+	// Build long signal and noise records like Section IV-B/V-A: the
+	// chip idles for the noise record and encrypts back-to-back for the
+	// signal record.
+	var signalS, signalP, noiseS, noiseP []float64
+	for i := 0; i < 6; i++ {
+		cap, err := c.Capture(testKey, 16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, p := c.Acquire(cap, ch)
+		signalS = append(signalS, s.Samples...)
+		signalP = append(signalP, p.Samples...)
+		idle, err := c.CaptureIdle(16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sn, pn := c.Acquire(idle, ch)
+		noiseS = append(noiseS, sn.Samples...)
+		noiseP = append(noiseP, pn.Samples...)
+	}
+	snrSensor := dsp.SNRdB(signalS, noiseS)
+	snrProbe := dsp.SNRdB(signalP, noiseP)
+	t.Logf("simulated SNR: sensor %.2f dB, probe %.2f dB", snrSensor, snrProbe)
+	if snrSensor < snrProbe+8 {
+		t.Fatalf("sensor SNR %.1f dB not clearly above probe %.1f dB", snrSensor, snrProbe)
+	}
+	if snrSensor < 24 || snrSensor > 36 {
+		t.Errorf("sensor SNR %.1f dB outside the paper's regime (~30 dB)", snrSensor)
+	}
+	if snrProbe < 12 || snrProbe > 23 {
+		t.Errorf("probe SNR %.1f dB outside the paper's regime (~17.5 dB)", snrProbe)
+	}
+}
+
+func TestA2FiresDuringCapture(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.WithTrojans = false // isolate the analog Trojan
+	cfg.WithA2 = true
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.EnableA2(true)
+	// The clkdiv victim toggles every cycle; a few hundred cycles charge
+	// the pump past threshold.
+	if _, err := c.CaptureIdle(400); err != nil {
+		t.Fatal(err)
+	}
+	if !c.A2().Firing() {
+		t.Fatalf("A2 did not fire; V=%g", c.A2().Voltage())
+	}
+	// Disabled, it stays silent.
+	c.EnableA2(false)
+	if _, err := c.CaptureIdle(400); err != nil {
+		t.Fatal(err)
+	}
+	if c.A2().Firing() || c.A2().Voltage() != 0 {
+		t.Fatal("disabled A2 still pumping")
+	}
+}
+
+func TestAcquireChannels(t *testing.T) {
+	c := golden(t)
+	cap, err := c.Capture(testKey, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, p := c.Acquire(cap, MeasurementChannels())
+	if len(s.Samples) != len(cap.Sensor) || len(p.Samples) != len(cap.Probe) {
+		t.Fatal("acquire length mismatch")
+	}
+	if s.Dt != cap.Dt {
+		t.Fatal("dt lost in acquisition")
+	}
+}
+
+func TestWithStuckAtChip(t *testing.T) {
+	c := golden(t)
+	// Stuck-at on a combinational AES net: ciphertext corrupts, the
+	// original chip stays healthy.
+	n := c.Netlist()
+	var target = netlist.InvalidNet
+	for _, cell := range n.Cells {
+		if cell.Type == netlist.Xor2 && strings.HasPrefix(cell.Region, "aes/round") {
+			target = cell.Output
+			break
+		}
+	}
+	if target == netlist.InvalidNet {
+		t.Fatal("no fault site found")
+	}
+	faulty, err := c.WithStuckAt(target, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt := make([]byte, 16)
+	want := make([]byte, 16)
+	aes.NewCipher(testKey).Encrypt(want, pt)
+	if _, err := faulty.CapturePT(pt, testKey, 20); err != nil {
+		t.Fatal(err)
+	}
+	got, err := faulty.Ciphertext()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(got, want) {
+		t.Log("fault was masked for this vector (possible); checking the healthy chip still works")
+	}
+	if _, err := c.CapturePT(pt, testKey, 20); err != nil {
+		t.Fatal(err)
+	}
+	healthy, err := c.Ciphertext()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(healthy, want) {
+		t.Fatal("original chip corrupted by WithStuckAt")
+	}
+	// Error paths.
+	if _, err := c.WithStuckAt(netlist.InvalidNet, true); err == nil {
+		t.Fatal("invalid net must error")
+	}
+}
+
+func TestResetState(t *testing.T) {
+	c := golden(t)
+	pt := make([]byte, 16)
+	if _, err := c.CapturePT(pt, testKey, 20); err != nil {
+		t.Fatal(err)
+	}
+	c.ResetState()
+	ct, err := c.Ciphertext()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range ct {
+		if b != 0 {
+			t.Fatal("state survived ResetState")
+		}
+	}
+}

@@ -1,0 +1,161 @@
+// Package core implements the paper's primary contribution: the runtime
+// trust evaluation framework. It builds a golden EM fingerprint (feature
+// extraction, PCA dimensionality reduction, Euclidean distance with the
+// Eq. (1) max-pairwise threshold), inspects spectra for the
+// new-or-amplified frequency spots that betray A2-style analog Trojans
+// (Section III-E), and runs both detectors continuously over a stream of
+// traces in the runtime Monitor of Figure 1.
+package core
+
+import (
+	"fmt"
+
+	"emtrust/internal/dsp"
+	"emtrust/internal/stats"
+	"emtrust/internal/trace"
+)
+
+// FeatureExtractor reduces a raw trace to a fixed-length feature vector:
+// the RMS energy of consecutive segments. Segment energies capture the
+// where-and-how-much of the EM radiation while washing out the sample
+// phase jitter that raw-sample distances would choke on.
+type FeatureExtractor struct {
+	// Segments is the number of energy windows per trace.
+	Segments int
+}
+
+// Extract computes the feature vector of a trace.
+func (f FeatureExtractor) Extract(t *trace.Trace) []float64 {
+	n := f.Segments
+	if n <= 0 {
+		n = 32
+	}
+	out := make([]float64, n)
+	if len(t.Samples) == 0 {
+		return out
+	}
+	for i := 0; i < n; i++ {
+		lo := i * len(t.Samples) / n
+		hi := (i + 1) * len(t.Samples) / n
+		if hi <= lo {
+			hi = lo + 1
+			if hi > len(t.Samples) {
+				lo, hi = len(t.Samples)-1, len(t.Samples)
+			}
+		}
+		out[i] = dsp.RMS(t.Samples[lo:hi])
+	}
+	return out
+}
+
+// FingerprintConfig sets the fingerprint construction parameters.
+type FingerprintConfig struct {
+	// Segments is the feature-extractor resolution.
+	Segments int
+	// Components is the number of principal components kept; <= 0 keeps
+	// every component.
+	Components int
+	// ThresholdMargin scales the Eq. (1) threshold; 1.0 is the paper's
+	// exact rule (max pairwise golden distance).
+	ThresholdMargin float64
+	// IncludeResidual appends the PCA reconstruction error (the
+	// Q-statistic of process monitoring) as an extra score dimension.
+	// Without it a Trojan whose signature is orthogonal to the golden
+	// variation would be projected out of the reduced space entirely.
+	IncludeResidual bool
+}
+
+// DefaultFingerprintConfig returns the configuration used by the
+// experiments: 32 energy segments reduced to 8 principal components plus
+// the reconstruction residual.
+func DefaultFingerprintConfig() FingerprintConfig {
+	return FingerprintConfig{Segments: 32, Components: 8, ThresholdMargin: 1.0, IncludeResidual: true}
+}
+
+// Fingerprint is the golden reference model of the data-analysis module.
+type Fingerprint struct {
+	Extractor FeatureExtractor
+	PCA       *stats.PCA
+	// Golden holds the projected golden observations (one row per
+	// trace).
+	Golden *stats.Matrix
+	// Threshold is the Eq. (1) detection threshold EDth.
+	Threshold float64
+	// Centroid is the mean golden score vector, used for the Figure 6
+	// distance histograms.
+	Centroid []float64
+	// residual records whether score vectors carry the Q-statistic.
+	residual bool
+}
+
+// BuildFingerprint fits the golden model from Trojan-free traces. It
+// needs at least two traces to define the Eq. (1) threshold.
+func BuildFingerprint(golden []*trace.Trace, cfg FingerprintConfig) (*Fingerprint, error) {
+	if len(golden) < 2 {
+		return nil, fmt.Errorf("core: need at least 2 golden traces, got %d", len(golden))
+	}
+	if cfg.ThresholdMargin <= 0 {
+		cfg.ThresholdMargin = 1.0
+	}
+	ex := FeatureExtractor{Segments: cfg.Segments}
+	features := stats.NewMatrix(len(golden), len(ex.Extract(golden[0])))
+	for i, t := range golden {
+		copy(features.Row(i), ex.Extract(t))
+	}
+	pca := stats.FitPCA(features, cfg.Components)
+	fp := &Fingerprint{
+		Extractor: ex,
+		PCA:       pca,
+		residual:  cfg.IncludeResidual,
+	}
+	scores := stats.NewMatrix(len(golden), len(fp.project(features.Row(0))))
+	for i := 0; i < features.Rows; i++ {
+		copy(scores.Row(i), fp.project(features.Row(i)))
+	}
+	fp.Golden = scores
+	fp.Threshold = cfg.ThresholdMargin * stats.MaxPairwiseDistance(scores)
+	fp.Centroid = stats.Centroid(scores)
+	return fp, nil
+}
+
+// project maps a feature vector to scores, optionally appending the
+// reconstruction residual.
+func (fp *Fingerprint) project(features []float64) []float64 {
+	scores := fp.PCA.Project(features)
+	if !fp.residual {
+		return scores
+	}
+	back := fp.PCA.Reconstruct(scores)
+	return append(scores, stats.Euclidean(features, back))
+}
+
+// Project maps a trace into the golden score space (PCA scores plus the
+// residual dimension when configured).
+func (fp *Fingerprint) Project(t *trace.Trace) []float64 {
+	return fp.project(fp.Extractor.Extract(t))
+}
+
+// Distance returns the trace's Euclidean distance to the nearest golden
+// sample: the quantity compared against the Eq. (1) threshold.
+func (fp *Fingerprint) Distance(t *trace.Trace) float64 {
+	return stats.MinDistanceToSet(fp.Project(t), fp.Golden)
+}
+
+// CentroidDistance returns the distance to the golden centroid, the
+// statistic plotted in the Figure 6 histograms.
+func (fp *Fingerprint) CentroidDistance(t *trace.Trace) float64 {
+	return stats.Euclidean(fp.Project(t), fp.Centroid)
+}
+
+// Evaluate runs the time-domain detector on one trace.
+func (fp *Fingerprint) Evaluate(t *trace.Trace) TimeVerdict {
+	d := fp.Distance(t)
+	return TimeVerdict{Distance: d, Threshold: fp.Threshold, Alarm: d > fp.Threshold}
+}
+
+// TimeVerdict is the outcome of the Euclidean-distance detector.
+type TimeVerdict struct {
+	Distance  float64
+	Threshold float64
+	Alarm     bool
+}

@@ -1,0 +1,109 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"emtrust/internal/trace"
+)
+
+// Verdict combines both detectors' views of one trace.
+type Verdict struct {
+	Seq      int
+	Time     TimeVerdict
+	Spectral SpectralVerdict
+}
+
+// Alarm reports whether either detector fired.
+func (v Verdict) Alarm() bool { return v.Time.Alarm || v.Spectral.Alarm }
+
+// String renders a one-line monitor log entry.
+func (v Verdict) String() string {
+	status := "ok"
+	if v.Alarm() {
+		status = "ALARM"
+	}
+	return fmt.Sprintf("trace %d: %s distance=%.4g threshold=%.4g spots=%d",
+		v.Seq, status, v.Time.Distance, v.Time.Threshold, len(v.Spectral.Spots))
+}
+
+// Monitor is the runtime trust evaluation loop of Figure 1: traces from
+// the on-chip sensor stream in, verdicts stream out, and the analysis
+// runs in parallel with the circuit's normal execution (no performance
+// degradation on the monitored chip).
+type Monitor struct {
+	fp *Fingerprint
+	sd *SpectralDetector
+
+	in      chan *trace.Trace
+	out     chan Verdict
+	wg      sync.WaitGroup
+	seq     int
+	history struct {
+		sync.Mutex
+		alarms int
+		total  int
+	}
+}
+
+// NewMonitor builds a runtime monitor from fitted detectors. Either
+// detector may be nil to run the other alone.
+func NewMonitor(fp *Fingerprint, sd *SpectralDetector, buffer int) (*Monitor, error) {
+	if fp == nil && sd == nil {
+		return nil, fmt.Errorf("core: monitor needs at least one detector")
+	}
+	if buffer < 0 {
+		buffer = 0
+	}
+	m := &Monitor{
+		fp:  fp,
+		sd:  sd,
+		in:  make(chan *trace.Trace, buffer),
+		out: make(chan Verdict, buffer),
+	}
+	m.wg.Add(1)
+	go m.loop()
+	return m, nil
+}
+
+func (m *Monitor) loop() {
+	defer m.wg.Done()
+	defer close(m.out)
+	for t := range m.in {
+		v := Verdict{Seq: m.seq}
+		m.seq++
+		if m.fp != nil {
+			v.Time = m.fp.Evaluate(t)
+		}
+		if m.sd != nil {
+			v.Spectral = m.sd.Evaluate(t)
+		}
+		m.history.Lock()
+		m.history.total++
+		if v.Alarm() {
+			m.history.alarms++
+		}
+		m.history.Unlock()
+		m.out <- v
+	}
+}
+
+// Submit queues a trace for evaluation. It blocks when the buffer is
+// full (backpressure instead of dropped traces).
+func (m *Monitor) Submit(t *trace.Trace) { m.in <- t }
+
+// Verdicts returns the output stream. It is closed after Close.
+func (m *Monitor) Verdicts() <-chan Verdict { return m.out }
+
+// Close stops accepting traces and waits for in-flight evaluations.
+func (m *Monitor) Close() {
+	close(m.in)
+	m.wg.Wait()
+}
+
+// Stats returns the running totals.
+func (m *Monitor) Stats() (total, alarms int) {
+	m.history.Lock()
+	defer m.history.Unlock()
+	return m.history.total, m.history.alarms
+}

@@ -1,0 +1,150 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"emtrust/internal/dsp"
+	"emtrust/internal/stats"
+)
+
+// The golden models are fitted once per deployed chip and then used for
+// the device's lifetime, so they must survive restarts of the analysis
+// module. The JSON forms below are versioned and self-contained.
+
+const persistVersion = 1
+
+type fingerprintJSON struct {
+	Version    int         `json:"version"`
+	Segments   int         `json:"segments"`
+	Mean       []float64   `json:"mean"`
+	Components [][]float64 `json:"components"`
+	Variances  []float64   `json:"variances"`
+	TotalVar   float64     `json:"total_var"`
+	Golden     [][]float64 `json:"golden_scores"`
+	Threshold  float64     `json:"threshold"`
+	Centroid   []float64   `json:"centroid"`
+	Residual   bool        `json:"residual"`
+}
+
+// Save writes the fingerprint as versioned JSON.
+func (fp *Fingerprint) Save(w io.Writer) error {
+	j := fingerprintJSON{
+		Version:   persistVersion,
+		Segments:  fp.Extractor.Segments,
+		Mean:      fp.PCA.Mean,
+		Variances: fp.PCA.Variances,
+		TotalVar:  fp.PCA.TotalVar,
+		Threshold: fp.Threshold,
+		Centroid:  fp.Centroid,
+		Residual:  fp.residual,
+	}
+	for i := 0; i < fp.PCA.Components.Rows; i++ {
+		row := make([]float64, fp.PCA.Components.Cols)
+		copy(row, fp.PCA.Components.Row(i))
+		j.Components = append(j.Components, row)
+	}
+	for i := 0; i < fp.Golden.Rows; i++ {
+		row := make([]float64, fp.Golden.Cols)
+		copy(row, fp.Golden.Row(i))
+		j.Golden = append(j.Golden, row)
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(j)
+}
+
+// LoadFingerprint reads a fingerprint saved by Save.
+func LoadFingerprint(r io.Reader) (*Fingerprint, error) {
+	var j fingerprintJSON
+	if err := json.NewDecoder(r).Decode(&j); err != nil {
+		return nil, fmt.Errorf("core: decoding fingerprint: %w", err)
+	}
+	if j.Version != persistVersion {
+		return nil, fmt.Errorf("core: fingerprint version %d, want %d", j.Version, persistVersion)
+	}
+	if len(j.Components) == 0 || len(j.Golden) == 0 || len(j.Mean) == 0 {
+		return nil, fmt.Errorf("core: fingerprint file incomplete")
+	}
+	d := len(j.Mean)
+	comp := stats.NewMatrix(len(j.Components), d)
+	for i, row := range j.Components {
+		if len(row) != d {
+			return nil, fmt.Errorf("core: component %d has %d dims, want %d", i, len(row), d)
+		}
+		copy(comp.Row(i), row)
+	}
+	k := len(j.Golden[0])
+	golden := stats.NewMatrix(len(j.Golden), k)
+	for i, row := range j.Golden {
+		if len(row) != k {
+			return nil, fmt.Errorf("core: golden score %d has %d dims, want %d", i, len(row), k)
+		}
+		copy(golden.Row(i), row)
+	}
+	fp := &Fingerprint{
+		Extractor: FeatureExtractor{Segments: j.Segments},
+		PCA: &stats.PCA{
+			Mean:       j.Mean,
+			Components: comp,
+			Variances:  j.Variances,
+			TotalVar:   j.TotalVar,
+		},
+		Golden:    golden,
+		Threshold: j.Threshold,
+		Centroid:  j.Centroid,
+		residual:  j.Residual,
+	}
+	return fp, nil
+}
+
+type spectralJSON struct {
+	Version     int       `json:"version"`
+	Window      int       `json:"window"`
+	Margin      float64   `json:"margin"`
+	FloorFactor float64   `json:"floor_factor"`
+	Envelope    []float64 `json:"envelope"`
+	Mean        []float64 `json:"mean"`
+	Floor       float64   `json:"floor"`
+	DF          float64   `json:"df"`
+}
+
+// Save writes the spectral detector as versioned JSON.
+func (d *SpectralDetector) Save(w io.Writer) error {
+	j := spectralJSON{
+		Version:     persistVersion,
+		Window:      int(d.cfg.Window),
+		Margin:      d.cfg.Margin,
+		FloorFactor: d.cfg.FloorFactor,
+		Envelope:    d.Envelope,
+		Mean:        d.Mean,
+		Floor:       d.Floor,
+		DF:          d.DF,
+	}
+	return json.NewEncoder(w).Encode(j)
+}
+
+// LoadSpectralDetector reads a detector saved by Save.
+func LoadSpectralDetector(r io.Reader) (*SpectralDetector, error) {
+	var j spectralJSON
+	if err := json.NewDecoder(r).Decode(&j); err != nil {
+		return nil, fmt.Errorf("core: decoding spectral detector: %w", err)
+	}
+	if j.Version != persistVersion {
+		return nil, fmt.Errorf("core: spectral detector version %d, want %d", j.Version, persistVersion)
+	}
+	if len(j.Envelope) == 0 {
+		return nil, fmt.Errorf("core: spectral detector file incomplete")
+	}
+	return &SpectralDetector{
+		cfg: SpectralConfig{
+			Window:      dsp.Window(j.Window),
+			Margin:      j.Margin,
+			FloorFactor: j.FloorFactor,
+		},
+		Envelope: j.Envelope,
+		Mean:     j.Mean,
+		Floor:    j.Floor,
+		DF:       j.DF,
+	}, nil
+}

@@ -1,0 +1,229 @@
+// Package demod recovers the data carried by Trojan 1's covert AM
+// channel from an EM trace: on-off keying of a 750 kHz carrier, one key
+// bit per carrier period (Section IV-A, Trojan 1: "the leaked
+// information can be demodulated with a wireless radio receiver"). It
+// doubles as the proof that the Trojan's payload is real — the same
+// on-chip sensor that detects the Trojan can also read what it leaks.
+package demod
+
+import (
+	"fmt"
+	"math"
+
+	"emtrust/internal/dsp"
+)
+
+// OOKConfig describes the covert channel's modulation.
+type OOKConfig struct {
+	// PulseHz is the receiver's lock-in frequency. The antenna's
+	// supply pulses repeat at twice the carrier (one per toggle); any
+	// harmonic of that pulse rate carries the keying, and higher
+	// harmonics hold more induced-emf energy. ChannelConfig picks one.
+	PulseHz float64
+	// SymbolSamples is the number of trace samples per leaked bit.
+	SymbolSamples int
+	// WindowSamples is the envelope-detector window; it should span at
+	// least one pulse period and at most one symbol.
+	WindowSamples int
+	// HopSamples is the envelope-detector stride; smaller hops give
+	// finer symbol synchronization.
+	HopSamples int
+}
+
+// ChannelConfig returns the demodulator settings for Trojan 1's channel
+// given the chip clock and trace sample rate: the carrier is clock/16,
+// one bit lasts 16 clock cycles. The antenna's supply pulses repeat at
+// clock/8, but an induced emf pulse is bipolar (zero net area), so its
+// low harmonics are weak; the receiver locks onto the 4th harmonic at
+// clock/2, which carries the same on-off keying and stays clear of the
+// clock fundamental.
+func ChannelConfig(clockHz, dt float64) OOKConfig {
+	samplesPerCycle := int(1/(clockHz*dt) + 0.5)
+	return OOKConfig{
+		PulseHz:       clockHz / 2, // 4th harmonic of the pulse train
+		SymbolSamples: 16 * samplesPerCycle,
+		WindowSamples: 8 * samplesPerCycle,
+		HopSamples:    samplesPerCycle,
+	}
+}
+
+// Result is a demodulated bitstream.
+type Result struct {
+	Bits []uint8
+	// Offset is the detected symbol boundary in envelope hops.
+	Offset int
+	// Contrast is the separation between the on and off envelope
+	// clusters, normalized by their spread; higher is cleaner.
+	Contrast float64
+	// Threshold is the decision level used.
+	Threshold float64
+}
+
+// DemodulateOOK recovers the on-off-keyed bits from a trace. It
+// estimates the symbol phase by maximizing inter-symbol contrast, then
+// slices and thresholds the carrier envelope.
+func DemodulateOOK(x []float64, dt float64, cfg OOKConfig) (*Result, error) {
+	if cfg.SymbolSamples <= 0 || cfg.WindowSamples <= 0 || cfg.HopSamples <= 0 {
+		return nil, fmt.Errorf("demod: invalid config %+v", cfg)
+	}
+	env := dsp.GoertzelSeries(x, dt, cfg.PulseHz, cfg.WindowSamples, cfg.HopSamples)
+	hopsPerSymbol := cfg.SymbolSamples / cfg.HopSamples
+	if hopsPerSymbol < 2 {
+		return nil, fmt.Errorf("demod: symbol of %d samples too short for hop %d", cfg.SymbolSamples, cfg.HopSamples)
+	}
+	if len(env) < 2*hopsPerSymbol {
+		return nil, fmt.Errorf("demod: trace holds fewer than two symbols")
+	}
+
+	// Phase search: the offset whose per-symbol means are most bimodal.
+	bestOffset, bestScore := 0, -1.0
+	var bestMeans []float64
+	for off := 0; off < hopsPerSymbol; off++ {
+		means := symbolMeans(env, off, hopsPerSymbol)
+		if len(means) < 2 {
+			continue
+		}
+		if score := bimodality(means); score > bestScore {
+			bestScore, bestOffset, bestMeans = score, off, means
+		}
+	}
+	if bestMeans == nil {
+		return nil, fmt.Errorf("demod: could not synchronize")
+	}
+	threshold := twoMeansThreshold(bestMeans)
+	bits := make([]uint8, len(bestMeans))
+	for i, m := range bestMeans {
+		if m > threshold {
+			bits[i] = 1
+		}
+	}
+	return &Result{Bits: bits, Offset: bestOffset, Contrast: bestScore, Threshold: threshold}, nil
+}
+
+// symbolMeans averages env over consecutive symbol-length groups
+// starting at the given hop offset. Only the central half of each symbol
+// is used: envelope windows that straddle a symbol boundary mix adjacent
+// bits and would smear the decision.
+func symbolMeans(env []float64, offset, hopsPerSymbol int) []float64 {
+	lo := hopsPerSymbol / 4
+	hi := hopsPerSymbol - hopsPerSymbol/4
+	if hi <= lo {
+		lo, hi = 0, hopsPerSymbol
+	}
+	var out []float64
+	for start := offset; start+hopsPerSymbol <= len(env); start += hopsPerSymbol {
+		sum := 0.0
+		for _, v := range env[start+lo : start+hi] {
+			sum += v
+		}
+		out = append(out, sum/float64(hi-lo))
+	}
+	return out
+}
+
+// bimodality scores how separable the values are into two clusters:
+// between-cluster distance over within-cluster spread (a 1-D two-means
+// criterion).
+func bimodality(x []float64) float64 {
+	lo, hi := minMax(x)
+	if hi == lo {
+		return 0
+	}
+	mid := (lo + hi) / 2
+	var nLo, nHi int
+	var sumLo, sumHi float64
+	for _, v := range x {
+		if v > mid {
+			nHi++
+			sumHi += v
+		} else {
+			nLo++
+			sumLo += v
+		}
+	}
+	if nLo == 0 || nHi == 0 {
+		return 0
+	}
+	muLo, muHi := sumLo/float64(nLo), sumHi/float64(nHi)
+	var spread float64
+	for _, v := range x {
+		d := v - muLo
+		if v > mid {
+			d = v - muHi
+		}
+		spread += d * d
+	}
+	spread = spread / float64(len(x))
+	if spread == 0 {
+		return 1e12
+	}
+	return (muHi - muLo) * (muHi - muLo) / spread
+}
+
+// twoMeansThreshold refines the on/off decision level by iterating the
+// 1-D two-means update from the midrange starting point; it is robust to
+// unbalanced bit populations where the plain midpoint is not.
+func twoMeansThreshold(x []float64) float64 {
+	lo, hi := minMax(x)
+	th := (lo + hi) / 2
+	for iter := 0; iter < 16; iter++ {
+		var nLo, nHi int
+		var sumLo, sumHi float64
+		for _, v := range x {
+			if v > th {
+				nHi++
+				sumHi += v
+			} else {
+				nLo++
+				sumLo += v
+			}
+		}
+		if nLo == 0 || nHi == 0 {
+			return th
+		}
+		next := (sumLo/float64(nLo) + sumHi/float64(nHi)) / 2
+		if math.Abs(next-th) < 1e-15 {
+			break
+		}
+		th = next
+	}
+	return th
+}
+
+func minMax(x []float64) (lo, hi float64) {
+	lo, hi = x[0], x[0]
+	for _, v := range x[1:] {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	return lo, hi
+}
+
+// MatchRotation searches for a rotation of want (a cyclic bit pattern)
+// that matches got, allowing up to maxErrors bit errors. It returns the
+// rotation and error count of the best alignment, or ok=false when no
+// rotation fits. The covert channel repeats the key endlessly, so the
+// receiver sees an arbitrary rotation.
+func MatchRotation(got, want []uint8, maxErrors int) (rotation, errors int, ok bool) {
+	if len(want) == 0 || len(got) == 0 {
+		return 0, 0, false
+	}
+	bestErr := len(got) + 1
+	bestRot := 0
+	for rot := 0; rot < len(want); rot++ {
+		errs := 0
+		for i := range got {
+			if got[i] != want[(rot+i)%len(want)] {
+				errs++
+			}
+		}
+		if errs < bestErr {
+			bestErr, bestRot = errs, rot
+		}
+	}
+	return bestRot, bestErr, bestErr <= maxErrors
+}

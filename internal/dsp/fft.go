@@ -1,0 +1,137 @@
+// Package dsp provides the signal-processing primitives used by the trust
+// evaluation framework: FFT, window functions, power spectra, RMS and SNR
+// computation, and simple filtering. Everything is implemented from scratch
+// on top of the standard library so the repository stays dependency-free.
+package dsp
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"math/cmplx"
+)
+
+// NextPow2 returns the smallest power of two that is >= n. It returns 1 for
+// n <= 1.
+func NextPow2(n int) int {
+	if n <= 1 {
+		return 1
+	}
+	return 1 << bits.Len(uint(n-1))
+}
+
+// IsPow2 reports whether n is a positive power of two.
+func IsPow2(n int) bool {
+	return n > 0 && n&(n-1) == 0
+}
+
+// FFT computes the in-place radix-2 decimation-in-time fast Fourier
+// transform of x. The length of x must be a power of two; FFT panics
+// otherwise (a programming error, not an input error: callers zero-pad with
+// PadPow2 first). The transform is unnormalized: IFFT(FFT(x)) == x.
+func FFT(x []complex128) {
+	fftDir(x, false)
+}
+
+// IFFT computes the inverse FFT of x in place, including the 1/N
+// normalization. The length of x must be a power of two.
+func IFFT(x []complex128) {
+	fftDir(x, true)
+	n := complex(float64(len(x)), 0)
+	for i := range x {
+		x[i] /= n
+	}
+}
+
+func fftDir(x []complex128, inverse bool) {
+	n := len(x)
+	if !IsPow2(n) {
+		panic(fmt.Sprintf("dsp: FFT length %d is not a power of two", n))
+	}
+	// Bit-reversal permutation.
+	shift := bits.UintSize - uint(bits.Len(uint(n-1)))
+	for i := 0; i < n; i++ {
+		j := int(bits.Reverse(uint(i)) >> shift)
+		if j > i {
+			x[i], x[j] = x[j], x[i]
+		}
+	}
+	// Danielson-Lanczos butterflies.
+	sign := -1.0
+	if inverse {
+		sign = 1.0
+	}
+	for size := 2; size <= n; size <<= 1 {
+		half := size / 2
+		step := sign * 2 * math.Pi / float64(size)
+		wStep := cmplx.Exp(complex(0, step))
+		for start := 0; start < n; start += size {
+			w := complex(1, 0)
+			for k := 0; k < half; k++ {
+				a := x[start+k]
+				b := x[start+k+half] * w
+				x[start+k] = a + b
+				x[start+k+half] = a - b
+				w *= wStep
+			}
+		}
+	}
+}
+
+// PadPow2 returns x zero-padded to the next power-of-two length. If the
+// length of x is already a power of two, a copy is returned so callers can
+// transform the result in place without aliasing the input.
+func PadPow2(x []float64) []float64 {
+	n := NextPow2(len(x))
+	out := make([]float64, n)
+	copy(out, x)
+	return out
+}
+
+// ToComplex converts a real signal to a complex slice with zero imaginary
+// parts.
+func ToComplex(x []float64) []complex128 {
+	out := make([]complex128, len(x))
+	for i, v := range x {
+		out[i] = complex(v, 0)
+	}
+	return out
+}
+
+// RealFFT computes the FFT of a real signal, zero-padding it to a power of
+// two. It returns the complex spectrum of length NextPow2(len(x)).
+func RealFFT(x []float64) []complex128 {
+	padded := PadPow2(x)
+	c := ToComplex(padded)
+	FFT(c)
+	return c
+}
+
+// Magnitudes returns the magnitude of each bin of the spectrum.
+func Magnitudes(spec []complex128) []float64 {
+	out := make([]float64, len(spec))
+	for i, v := range spec {
+		out[i] = cmplx.Abs(v)
+	}
+	return out
+}
+
+// BinFrequency returns the frequency in hertz of bin k for a transform of
+// length n over samples spaced dt seconds apart.
+func BinFrequency(k, n int, dt float64) float64 {
+	return float64(k) / (float64(n) * dt)
+}
+
+// FrequencyBin returns the closest bin index for frequency f (Hz) given a
+// transform length n and sample spacing dt. The result is clamped to the
+// one-sided range [0, n/2].
+func FrequencyBin(f float64, n int, dt float64) int {
+	k := int(math.Round(f * float64(n) * dt))
+	if k < 0 {
+		k = 0
+	}
+	if k > n/2 {
+		k = n / 2
+	}
+	return k
+}

@@ -1,0 +1,195 @@
+package dsp
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+const tol = 1e-9
+
+func almostEqual(a, b, eps float64) bool {
+	return math.Abs(a-b) <= eps*(1+math.Abs(a)+math.Abs(b))
+}
+
+func TestNextPow2(t *testing.T) {
+	cases := []struct{ in, want int }{
+		{0, 1}, {1, 1}, {2, 2}, {3, 4}, {4, 4}, {5, 8}, {1000, 1024}, {1024, 1024}, {1025, 2048},
+	}
+	for _, c := range cases {
+		if got := NextPow2(c.in); got != c.want {
+			t.Errorf("NextPow2(%d) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+func TestIsPow2(t *testing.T) {
+	for _, n := range []int{1, 2, 4, 8, 1024} {
+		if !IsPow2(n) {
+			t.Errorf("IsPow2(%d) = false, want true", n)
+		}
+	}
+	for _, n := range []int{0, -1, 3, 6, 1000} {
+		if IsPow2(n) {
+			t.Errorf("IsPow2(%d) = true, want false", n)
+		}
+	}
+}
+
+func TestFFTImpulse(t *testing.T) {
+	// The FFT of a unit impulse is all ones.
+	x := make([]complex128, 16)
+	x[0] = 1
+	FFT(x)
+	for i, v := range x {
+		if cmplx.Abs(v-1) > tol {
+			t.Fatalf("bin %d = %v, want 1", i, v)
+		}
+	}
+}
+
+func TestFFTSinusoidBin(t *testing.T) {
+	// A pure sinusoid at bin k must concentrate its energy at bins k and
+	// N-k with magnitude N/2 each.
+	const n = 256
+	const k = 17
+	x := make([]complex128, n)
+	for i := range x {
+		x[i] = complex(math.Sin(2*math.Pi*float64(k)*float64(i)/n), 0)
+	}
+	FFT(x)
+	for i, v := range x {
+		mag := cmplx.Abs(v)
+		switch i {
+		case k, n - k:
+			if math.Abs(mag-n/2) > 1e-6 {
+				t.Errorf("bin %d magnitude = %g, want %g", i, mag, float64(n)/2)
+			}
+		default:
+			if mag > 1e-6 {
+				t.Errorf("bin %d magnitude = %g, want ~0", i, mag)
+			}
+		}
+	}
+}
+
+func TestFFTRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	x := make([]complex128, 128)
+	orig := make([]complex128, len(x))
+	for i := range x {
+		x[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+		orig[i] = x[i]
+	}
+	FFT(x)
+	IFFT(x)
+	for i := range x {
+		if cmplx.Abs(x[i]-orig[i]) > 1e-9 {
+			t.Fatalf("round trip mismatch at %d: %v vs %v", i, x[i], orig[i])
+		}
+	}
+}
+
+func TestFFTPanicsOnBadLength(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("FFT of non-power-of-two length did not panic")
+		}
+	}()
+	FFT(make([]complex128, 12))
+}
+
+// TestFFTParseval checks energy conservation for random signals
+// (property-based).
+func TestFFTParseval(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 64
+		x := make([]complex128, n)
+		timeEnergy := 0.0
+		for i := range x {
+			x[i] = complex(rng.NormFloat64(), 0)
+			timeEnergy += real(x[i]) * real(x[i])
+		}
+		FFT(x)
+		freqEnergy := 0.0
+		for _, v := range x {
+			freqEnergy += real(v)*real(v) + imag(v)*imag(v)
+		}
+		freqEnergy /= float64(n)
+		return almostEqual(timeEnergy, freqEnergy, 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestFFTLinearity checks FFT(a*x + b*y) == a*FFT(x) + b*FFT(y).
+func TestFFTLinearity(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 32
+		x := make([]complex128, n)
+		y := make([]complex128, n)
+		mix := make([]complex128, n)
+		a := complex(rng.NormFloat64(), 0)
+		b := complex(rng.NormFloat64(), 0)
+		for i := range x {
+			x[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+			y[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+			mix[i] = a*x[i] + b*y[i]
+		}
+		FFT(x)
+		FFT(y)
+		FFT(mix)
+		for i := range mix {
+			want := a*x[i] + b*y[i]
+			if cmplx.Abs(mix[i]-want) > 1e-8 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRealFFTPadsToPow2(t *testing.T) {
+	x := make([]float64, 100)
+	spec := RealFFT(x)
+	if len(spec) != 128 {
+		t.Fatalf("RealFFT length = %d, want 128", len(spec))
+	}
+}
+
+func TestPadPow2Copies(t *testing.T) {
+	x := []float64{1, 2, 3, 4}
+	p := PadPow2(x)
+	if len(p) != 4 {
+		t.Fatalf("PadPow2 length = %d, want 4", len(p))
+	}
+	p[0] = 99
+	if x[0] != 1 {
+		t.Fatal("PadPow2 aliased its input")
+	}
+}
+
+func TestBinFrequency(t *testing.T) {
+	// 1024 samples at 1 MHz: bin spacing must be ~976.5625 Hz.
+	got := BinFrequency(1, 1024, 1e-6)
+	if math.Abs(got-976.5625) > 1e-6 {
+		t.Fatalf("BinFrequency = %g, want 976.5625", got)
+	}
+	if k := FrequencyBin(976.5625, 1024, 1e-6); k != 1 {
+		t.Fatalf("FrequencyBin = %d, want 1", k)
+	}
+	if k := FrequencyBin(-5, 1024, 1e-6); k != 0 {
+		t.Fatalf("FrequencyBin clamp low = %d, want 0", k)
+	}
+	if k := FrequencyBin(1e12, 1024, 1e-6); k != 512 {
+		t.Fatalf("FrequencyBin clamp high = %d, want 512", k)
+	}
+}

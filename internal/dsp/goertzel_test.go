@@ -1,0 +1,109 @@
+package dsp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestGoertzelMatchesSpectrum(t *testing.T) {
+	const n = 1024
+	const dt = 1e-6
+	f := BinFrequency(100, n, dt)
+	x := sine(n, dt, f, 2.5)
+	got := Goertzel(x, dt, f)
+	if math.Abs(got-2.5) > 0.01 {
+		t.Fatalf("Goertzel amplitude = %g, want 2.5", got)
+	}
+	// Off-frequency bins read near zero.
+	if off := Goertzel(x, dt, BinFrequency(300, n, dt)); off > 0.05 {
+		t.Fatalf("off-bin amplitude = %g", off)
+	}
+	if Goertzel(nil, dt, f) != 0 {
+		t.Fatal("empty input must give 0")
+	}
+}
+
+func TestGoertzelSeriesTracksOOK(t *testing.T) {
+	// Build an on-off-keyed tone: 4 symbols 1,0,1,0 of 512 samples each.
+	const dt = 1e-7
+	const f = 750e3
+	const symbol = 512
+	var x []float64
+	for s := 0; s < 4; s++ {
+		for i := 0; i < symbol; i++ {
+			v := 0.0
+			if s%2 == 0 {
+				v = math.Sin(2 * math.Pi * f * float64(len(x)) * dt)
+			}
+			x = append(x, v)
+		}
+	}
+	env := GoertzelSeries(x, dt, f, symbol, symbol)
+	if len(env) != 4 {
+		t.Fatalf("envelope length = %d", len(env))
+	}
+	if !(env[0] > 5*env[1] && env[2] > 5*env[3]) {
+		t.Fatalf("envelope does not track keying: %v", env)
+	}
+	if GoertzelSeries(x, dt, f, 0, symbol) != nil || GoertzelSeries(x[:10], dt, f, symbol, symbol) != nil {
+		t.Fatal("degenerate inputs must return nil")
+	}
+}
+
+func TestSTFT(t *testing.T) {
+	const dt = 1e-6
+	// First half 50 kHz, second half 150 kHz.
+	var x []float64
+	for i := 0; i < 2048; i++ {
+		f := 50e3
+		if i >= 1024 {
+			f = 150e3
+		}
+		x = append(x, math.Sin(2*math.Pi*f*float64(i)*dt))
+	}
+	frames := STFT(x, dt, Hann, 512, 512)
+	if len(frames) != 4 {
+		t.Fatalf("frames = %d", len(frames))
+	}
+	if f0 := frames[0].TopPeaks(1, 0.1)[0].Frequency; math.Abs(f0-50e3) > 3*frames[0].DF {
+		t.Fatalf("frame 0 peak at %g", f0)
+	}
+	if f3 := frames[3].TopPeaks(1, 0.1)[0].Frequency; math.Abs(f3-150e3) > 3*frames[3].DF {
+		t.Fatalf("frame 3 peak at %g", f3)
+	}
+	if STFT(x, dt, Hann, 0, 512) != nil {
+		t.Fatal("degenerate STFT must return nil")
+	}
+}
+
+func TestCoherentAverage(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	const n = 2048
+	clean := sine(n, 1e-6, 5e3, 1.0)
+	var traces [][]float64
+	for k := 0; k < 64; k++ {
+		tr := make([]float64, n)
+		for i := range tr {
+			tr[i] = clean[i] + rng.NormFloat64()
+		}
+		traces = append(traces, tr)
+	}
+	avg := CoherentAverage(traces)
+	// Residual noise should shrink by ~sqrt(64) = 8.
+	residual := make([]float64, n)
+	for i := range residual {
+		residual[i] = avg[i] - clean[i]
+	}
+	if r := RMS(residual); r > 0.25 {
+		t.Fatalf("averaged residual RMS = %g, want ~0.125", r)
+	}
+	if CoherentAverage(nil) != nil {
+		t.Fatal("empty average must be nil")
+	}
+	// Ragged lengths truncate to the shortest.
+	ragged := CoherentAverage([][]float64{{1, 2, 3}, {3, 4}})
+	if len(ragged) != 2 || ragged[0] != 2 || ragged[1] != 3 {
+		t.Fatalf("ragged average = %v", ragged)
+	}
+}

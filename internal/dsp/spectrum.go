@@ -1,0 +1,127 @@
+package dsp
+
+import (
+	"math"
+	"sort"
+)
+
+// Spectrum is a one-sided amplitude spectrum of a real signal.
+type Spectrum struct {
+	// Amplitude holds per-bin amplitudes for bins 0..N/2 of the
+	// underlying transform, rescaled by the window's coherent gain so
+	// that a full-scale sinusoid reads close to its time-domain
+	// amplitude.
+	Amplitude []float64
+	// DF is the bin spacing in hertz.
+	DF float64
+	// N is the underlying (zero-padded) transform length.
+	N int
+}
+
+// NewSpectrum computes a one-sided amplitude spectrum of the real signal x
+// sampled every dt seconds, after applying window w and zero-padding to a
+// power of two.
+func NewSpectrum(x []float64, dt float64, w Window) *Spectrum {
+	if len(x) == 0 {
+		return &Spectrum{Amplitude: []float64{}, DF: 0, N: 0}
+	}
+	windowed := w.Apply(x)
+	spec := RealFFT(windowed)
+	n := len(spec)
+	gain := w.Gain(len(x))
+	half := n/2 + 1
+	amp := make([]float64, half)
+	scale := 2 / (float64(len(x)) * gain)
+	for k := 0; k < half; k++ {
+		a := math.Hypot(real(spec[k]), imag(spec[k])) * scale
+		if k == 0 || k == n/2 {
+			a /= 2 // DC and Nyquist appear once, not twice
+		}
+		amp[k] = a
+	}
+	return &Spectrum{Amplitude: amp, DF: 1 / (float64(n) * dt), N: n}
+}
+
+// Frequency returns the frequency of bin k in hertz.
+func (s *Spectrum) Frequency(k int) float64 { return float64(k) * s.DF }
+
+// Bin returns the bin index closest to frequency f, clamped to the valid
+// range.
+func (s *Spectrum) Bin(f float64) int {
+	if s.DF == 0 {
+		return 0
+	}
+	k := int(math.Round(f / s.DF))
+	if k < 0 {
+		k = 0
+	}
+	if k >= len(s.Amplitude) {
+		k = len(s.Amplitude) - 1
+	}
+	return k
+}
+
+// AmplitudeAt returns the amplitude at the bin closest to frequency f.
+func (s *Spectrum) AmplitudeAt(f float64) float64 {
+	if len(s.Amplitude) == 0 {
+		return 0
+	}
+	return s.Amplitude[s.Bin(f)]
+}
+
+// BandEnergy integrates squared amplitude over [fLo, fHi] (inclusive bins).
+func (s *Spectrum) BandEnergy(fLo, fHi float64) float64 {
+	lo, hi := s.Bin(fLo), s.Bin(fHi)
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	e := 0.0
+	for k := lo; k <= hi; k++ {
+		e += s.Amplitude[k] * s.Amplitude[k]
+	}
+	return e
+}
+
+// Peak is a local maximum of a spectrum.
+type Peak struct {
+	Bin       int
+	Frequency float64
+	Amplitude float64
+}
+
+// Peaks returns the local maxima with amplitude at least minAmp, sorted by
+// descending amplitude. Bin 0 (DC) is never reported as a peak.
+func (s *Spectrum) Peaks(minAmp float64) []Peak {
+	var peaks []Peak
+	for k := 1; k < len(s.Amplitude)-1; k++ {
+		a := s.Amplitude[k]
+		if a >= minAmp && a > s.Amplitude[k-1] && a >= s.Amplitude[k+1] {
+			peaks = append(peaks, Peak{Bin: k, Frequency: s.Frequency(k), Amplitude: a})
+		}
+	}
+	sort.Slice(peaks, func(i, j int) bool { return peaks[i].Amplitude > peaks[j].Amplitude })
+	return peaks
+}
+
+// TopPeaks returns up to n strongest peaks above minAmp.
+func (s *Spectrum) TopPeaks(n int, minAmp float64) []Peak {
+	p := s.Peaks(minAmp)
+	if len(p) > n {
+		p = p[:n]
+	}
+	return p
+}
+
+// Sub returns the per-bin amplitude difference s - ref. The spectra must
+// have the same length.
+func (s *Spectrum) Sub(ref *Spectrum) []float64 {
+	n := len(s.Amplitude)
+	if len(ref.Amplitude) < n {
+		n = len(ref.Amplitude)
+	}
+	d := make([]float64, n)
+	for i := 0; i < n; i++ {
+		d[i] = s.Amplitude[i] - ref.Amplitude[i]
+	}
+	return d
+}

@@ -1,0 +1,82 @@
+package dsp
+
+import "math"
+
+// Window identifies a tapering function applied to a signal before a
+// spectral transform to control leakage.
+type Window int
+
+const (
+	// Rectangular applies no tapering.
+	Rectangular Window = iota
+	// Hann is the raised-cosine window; the paper's spectral comparisons
+	// use it as the default because it suppresses leakage around the
+	// clock harmonics without widening peaks too far.
+	Hann
+	// Hamming is the classic 0.54/0.46 window.
+	Hamming
+	// Blackman is a three-term window with very low sidelobes.
+	Blackman
+)
+
+// String returns the conventional window name.
+func (w Window) String() string {
+	switch w {
+	case Rectangular:
+		return "rectangular"
+	case Hann:
+		return "hann"
+	case Hamming:
+		return "hamming"
+	case Blackman:
+		return "blackman"
+	default:
+		return "unknown"
+	}
+}
+
+// Coefficients returns the n window coefficients. n must be positive.
+func (w Window) Coefficients(n int) []float64 {
+	c := make([]float64, n)
+	if n == 1 {
+		c[0] = 1
+		return c
+	}
+	den := float64(n - 1)
+	for i := range c {
+		t := float64(i) / den
+		switch w {
+		case Hann:
+			c[i] = 0.5 - 0.5*math.Cos(2*math.Pi*t)
+		case Hamming:
+			c[i] = 0.54 - 0.46*math.Cos(2*math.Pi*t)
+		case Blackman:
+			c[i] = 0.42 - 0.5*math.Cos(2*math.Pi*t) + 0.08*math.Cos(4*math.Pi*t)
+		default:
+			c[i] = 1
+		}
+	}
+	return c
+}
+
+// Apply multiplies x by the window coefficients and returns a new slice; x
+// is not modified.
+func (w Window) Apply(x []float64) []float64 {
+	c := w.Coefficients(len(x))
+	out := make([]float64, len(x))
+	for i, v := range x {
+		out[i] = v * c[i]
+	}
+	return out
+}
+
+// Gain returns the coherent gain of the window (mean coefficient value),
+// used to rescale spectral amplitudes so windows are comparable.
+func (w Window) Gain(n int) float64 {
+	c := w.Coefficients(n)
+	sum := 0.0
+	for _, v := range c {
+		sum += v
+	}
+	return sum / float64(n)
+}

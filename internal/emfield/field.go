@@ -1,0 +1,359 @@
+// Package emfield computes the magnetic coupling between the chip's
+// switching currents and the measurement coils, following the staged
+// method of the paper's reference [18]: tile currents -> Biot-Savart
+// field -> flux through coil loops (Faraday's law) -> induced emf.
+//
+// Each floorplan tile is modeled as a small vertical-axis current loop
+// (the local supply/return path), i.e. a magnetic dipole m = I*Aeff ẑ.
+// The on-chip sensor is the paper's one-way spiral on the top metal layer
+// (approximated as nested rectangular turns); the external probe is a
+// stack of same-diameter circular turns 100 um above the package, as seen
+// in the X-ray of Figure 2(a).
+package emfield
+
+import (
+	"fmt"
+	"math"
+
+	"emtrust/internal/layout"
+)
+
+// Mu0 is the vacuum permeability in H/m.
+const Mu0 = 4 * math.Pi * 1e-7
+
+// Vec3 is a 3-D vector in meters (or field units, by context).
+type Vec3 struct {
+	X, Y, Z float64
+}
+
+// Add returns v + w.
+func (v Vec3) Add(w Vec3) Vec3 { return Vec3{v.X + w.X, v.Y + w.Y, v.Z + w.Z} }
+
+// Sub returns v - w.
+func (v Vec3) Sub(w Vec3) Vec3 { return Vec3{v.X - w.X, v.Y - w.Y, v.Z - w.Z} }
+
+// Scale returns v * k.
+func (v Vec3) Scale(k float64) Vec3 { return Vec3{v.X * k, v.Y * k, v.Z * k} }
+
+// Dot returns the dot product.
+func (v Vec3) Dot(w Vec3) float64 { return v.X*w.X + v.Y*w.Y + v.Z*w.Z }
+
+// Cross returns the cross product v x w.
+func (v Vec3) Cross(w Vec3) Vec3 {
+	return Vec3{
+		v.Y*w.Z - v.Z*w.Y,
+		v.Z*w.X - v.X*w.Z,
+		v.X*w.Y - v.Y*w.X,
+	}
+}
+
+// Norm returns the Euclidean length.
+func (v Vec3) Norm() float64 { return math.Sqrt(v.Dot(v)) }
+
+// DipoleB returns the magnetic field at point p of a magnetic dipole with
+// moment m located at pos (exact dipole formula).
+func DipoleB(pos, p Vec3, m Vec3) Vec3 {
+	r := p.Sub(pos)
+	rn := r.Norm()
+	if rn == 0 {
+		return Vec3{}
+	}
+	rhat := r.Scale(1 / rn)
+	k := Mu0 / (4 * math.Pi * rn * rn * rn)
+	return rhat.Scale(3 * m.Dot(rhat)).Sub(m).Scale(k)
+}
+
+// DipoleBz returns only the z-component of the field of a ẑ-oriented
+// unit dipole at pos evaluated at p; the common case for flux through
+// horizontal loops.
+func DipoleBz(pos, p Vec3) float64 {
+	r := p.Sub(pos)
+	rn := r.Norm()
+	if rn == 0 {
+		return 0
+	}
+	k := Mu0 / (4 * math.Pi * rn * rn * rn * rn * rn)
+	return k * (3*r.Z*r.Z - rn*rn)
+}
+
+// SegmentB returns the Biot-Savart field at p of a finite straight wire
+// from a to b carrying unit current (amps).
+func SegmentB(a, b, p Vec3) Vec3 {
+	ab := b.Sub(a)
+	l := ab.Norm()
+	if l == 0 {
+		return Vec3{}
+	}
+	u := ab.Scale(1 / l)
+	ap := p.Sub(a)
+	// Perpendicular distance vector from the wire line to p.
+	along := ap.Dot(u)
+	perp := ap.Sub(u.Scale(along))
+	d := perp.Norm()
+	if d == 0 {
+		return Vec3{} // on the wire axis: field singular/zero by symmetry
+	}
+	// Standard finite-wire result: B = mu0 I /(4 pi d) (sin t2 - sin t1)
+	// where angles are measured from the perpendicular foot.
+	sin1 := -along / math.Hypot(along, d)
+	sin2 := (l - along) / math.Hypot(l-along, d)
+	mag := Mu0 / (4 * math.Pi * d) * (sin2 - sin1)
+	dir := u.Cross(perp.Scale(1 / d))
+	return dir.Scale(mag)
+}
+
+// Loop is a horizontal conducting turn through which flux is computed.
+type Loop interface {
+	// FluxOfUnitDipole returns the magnetic flux through the loop from
+	// a unit ẑ dipole at pos. It is evaluated as the boundary line
+	// integral of the dipole's vector potential (Stokes' theorem),
+	// which stays well-conditioned even when the loop passes a few
+	// micrometers above the source — the on-chip sensor's regime. n is
+	// the number of integration samples per edge (or per turn for
+	// circles); n <= 0 selects a default.
+	FluxOfUnitDipole(pos Vec3, n int) float64
+	// Area returns the enclosed area in square meters.
+	Area() float64
+}
+
+// dipoleA returns the vector potential at p of a unit ẑ dipole at pos:
+// A = mu0/(4 pi) (m x r)/|r|^3.
+func dipoleA(pos, p Vec3) Vec3 {
+	r := p.Sub(pos)
+	rn := r.Norm()
+	if rn == 0 {
+		return Vec3{}
+	}
+	k := Mu0 / (4 * math.Pi * rn * rn * rn)
+	// ẑ x r = (-r.Y, r.X, 0)
+	return Vec3{-r.Y * k, r.X * k, 0}
+}
+
+// boundaryFlux integrates A . dl along the closed polyline given by pts
+// (counter-clockwise, last point connects back to the first), with n
+// midpoint samples per edge.
+func boundaryFlux(pos Vec3, pts []Vec3, n int) float64 {
+	if n <= 0 {
+		n = 64
+	}
+	sum := 0.0
+	for i := range pts {
+		a := pts[i]
+		b := pts[(i+1)%len(pts)]
+		d := b.Sub(a).Scale(1 / float64(n))
+		for k := 0; k < n; k++ {
+			mid := a.Add(d.Scale(float64(k) + 0.5))
+			sum += dipoleA(pos, mid).Dot(d)
+		}
+	}
+	return sum
+}
+
+// RectLoop is a rectangular turn centered at (CX, CY) at height Z.
+type RectLoop struct {
+	CX, CY, W, H, Z float64
+}
+
+// Area returns W*H.
+func (r RectLoop) Area() float64 { return r.W * r.H }
+
+// FluxOfUnitDipole integrates the dipole vector potential around the
+// rectangle boundary (counter-clockwise) with n samples per edge.
+func (r RectLoop) FluxOfUnitDipole(pos Vec3, n int) float64 {
+	hx, hy := r.W/2, r.H/2
+	pts := []Vec3{
+		{r.CX - hx, r.CY - hy, r.Z},
+		{r.CX + hx, r.CY - hy, r.Z},
+		{r.CX + hx, r.CY + hy, r.Z},
+		{r.CX - hx, r.CY + hy, r.Z},
+	}
+	return boundaryFlux(pos, pts, n)
+}
+
+// CircleLoop is a circular turn of radius R centered at (CX, CY) at
+// height Z.
+type CircleLoop struct {
+	CX, CY, R, Z float64
+}
+
+// Area returns pi R^2.
+func (c CircleLoop) Area() float64 { return math.Pi * c.R * c.R }
+
+// FluxOfUnitDipole integrates the dipole vector potential around the
+// circle (counter-clockwise) approximated as a 4n-gon.
+func (c CircleLoop) FluxOfUnitDipole(pos Vec3, n int) float64 {
+	if n <= 0 {
+		n = 64
+	}
+	sides := 4 * n
+	pts := make([]Vec3, sides)
+	for i := range pts {
+		th := 2 * math.Pi * float64(i) / float64(sides)
+		pts[i] = Vec3{c.CX + c.R*math.Cos(th), c.CY + c.R*math.Sin(th), c.Z}
+	}
+	return boundaryFlux(pos, pts, 1)
+}
+
+// Coil is a series-connected stack of loops; the induced emf is the sum
+// of the per-turn flux derivatives.
+type Coil struct {
+	Name  string
+	Loops []Loop
+}
+
+// TotalArea returns the summed turn area (a coarse sensitivity measure:
+// the paper notes the spiral's effectiveness "equals the accumulation of
+// all the coils with gradually increasing diameters").
+func (c *Coil) TotalArea() float64 {
+	a := 0.0
+	for _, l := range c.Loops {
+		a += l.Area()
+	}
+	return a
+}
+
+// OnChipSpiral builds the paper's on-chip sensor: a one-way spiral
+// starting at the die center and extending to the corner (Figure 2(b)),
+// approximated by turns nested rectangles on the top metal layer at
+// height z above the switching devices, covering the entire die.
+func OnChipSpiral(die layout.Point, turns int, z float64) *Coil {
+	if turns <= 0 {
+		turns = 8
+	}
+	c := &Coil{Name: "on-chip spiral"}
+	for k := 1; k <= turns; k++ {
+		frac := float64(k) / float64(turns)
+		c.Loops = append(c.Loops, RectLoop{
+			CX: die.X / 2, CY: die.Y / 2,
+			W: die.X * frac, H: die.Y * frac,
+			Z: z,
+		})
+	}
+	return c
+}
+
+// QuadrantNames labels the four quadrant spirals of QuadrantSpirals in
+// order: south-west, south-east, north-west, north-east.
+var QuadrantNames = [4]string{"SW", "SE", "NW", "NE"}
+
+// QuadrantSpirals builds the localization-enhanced sensor of the paper's
+// future-work direction: four smaller spirals, one per die quadrant, on
+// the same top metal layer. Comparing the per-quadrant responses locates
+// the radiating region — the "location awareness" advantage of the EM
+// side channel. Quadrant k covers x-half k%2 and y-half k/2.
+func QuadrantSpirals(die layout.Point, turns int, z float64) [4]*Coil {
+	if turns <= 0 {
+		turns = 6
+	}
+	var out [4]*Coil
+	for q := 0; q < 4; q++ {
+		cx := die.X * (0.25 + 0.5*float64(q%2))
+		cy := die.Y * (0.25 + 0.5*float64(q/2))
+		c := &Coil{Name: "quadrant " + QuadrantNames[q]}
+		for k := 1; k <= turns; k++ {
+			frac := float64(k) / float64(turns)
+			c.Loops = append(c.Loops, RectLoop{
+				CX: cx, CY: cy,
+				W: die.X / 2 * frac, H: die.Y / 2 * frac,
+				Z: z,
+			})
+		}
+		out[q] = c
+	}
+	return out
+}
+
+// QuadrantOf returns the quadrant index (see QuadrantNames) containing
+// the point p on the die.
+func QuadrantOf(die layout.Point, p Vec3) int {
+	q := 0
+	if p.X >= die.X/2 {
+		q++
+	}
+	if p.Y >= die.Y/2 {
+		q += 2
+	}
+	return q
+}
+
+// ExternalProbe builds the LANGER-style RF probe of Figure 2(a): a stack
+// of same-diameter circular turns at height z above the die center (the
+// paper sets 100 um for the package thickness), with stack pitch between
+// turns.
+func ExternalProbe(die layout.Point, radius float64, turns int, z, pitch float64) *Coil {
+	if turns <= 0 {
+		turns = 8
+	}
+	c := &Coil{Name: "external probe"}
+	for k := 0; k < turns; k++ {
+		c.Loops = append(c.Loops, CircleLoop{
+			CX: die.X / 2, CY: die.Y / 2,
+			R: radius,
+			Z: z + float64(k)*pitch,
+		})
+	}
+	return c
+}
+
+// Coupling holds the precomputed per-tile mutual coupling of a coil:
+// flux through the coil per ampere of tile loop current.
+type Coupling struct {
+	Coil *Coil
+	// M[tile] in webers per ampere (henries).
+	M []float64
+}
+
+// NewCoupling precomputes the tile->coil coupling for the given grid.
+// aeff is the effective loop area of one tile's supply current path;
+// quad is the per-loop quadrature resolution (points per axis).
+func NewCoupling(c *Coil, grid *layout.TileGrid, aeff float64, quad int) (*Coupling, error) {
+	if aeff <= 0 {
+		return nil, fmt.Errorf("emfield: effective tile loop area must be positive, got %g", aeff)
+	}
+	cp := &Coupling{Coil: c, M: make([]float64, grid.NumTiles())}
+	for t := 0; t < grid.NumTiles(); t++ {
+		pos := grid.TileCenter(t)
+		src := Vec3{pos.X, pos.Y, 0}
+		flux := 0.0
+		for _, l := range c.Loops {
+			flux += l.FluxOfUnitDipole(src, quad)
+		}
+		// Dipole moment per ampere is aeff, so M = flux * aeff.
+		cp.M[t] = flux * aeff
+	}
+	return cp, nil
+}
+
+// EMF synthesizes the coil's induced voltage from per-tile current
+// waveforms: emf(t) = -sum_tile M[tile] * dI_tile/dt. currents is indexed
+// [tile][sample]; dt is the sample spacing in seconds.
+func (cp *Coupling) EMF(currents [][]float64, dt float64) []float64 {
+	if len(currents) != len(cp.M) {
+		panic(fmt.Sprintf("emfield: %d tile waveforms for %d couplings", len(currents), len(cp.M)))
+	}
+	if len(currents) == 0 {
+		return nil
+	}
+	n := len(currents[0])
+	// First accumulate the flux waveform, then differentiate once:
+	// algebraically identical to summing per-tile derivatives but one
+	// pass and numerically steadier.
+	flux := make([]float64, n)
+	for t, w := range currents {
+		m := cp.M[t]
+		if m == 0 {
+			continue
+		}
+		for i, v := range w {
+			flux[i] += m * v
+		}
+	}
+	emf := make([]float64, n)
+	for i := 1; i < n; i++ {
+		emf[i] = -(flux[i] - flux[i-1]) / dt
+	}
+	if n > 1 {
+		emf[0] = emf[1]
+	}
+	return emf
+}

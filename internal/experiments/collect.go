@@ -1,0 +1,77 @@
+package experiments
+
+import (
+	"fmt"
+
+	"emtrust/internal/chip"
+	"emtrust/internal/trace"
+	"emtrust/internal/trojan"
+)
+
+// dualSet holds matched sensor/probe trace sets from the same captures.
+type dualSet struct {
+	Sensor trace.Set
+	Probe  trace.Set
+}
+
+// captureSet records n traces of the standard fixed-stimulus encryption
+// workload.
+func captureSet(c *chip.Chip, cfg Config, ch chip.Channels, n, cycles int) (*dualSet, error) {
+	var out dualSet
+	for i := 0; i < n; i++ {
+		cap, err := c.CapturePT(cfg.Plaintext, cfg.Key, cycles)
+		if err != nil {
+			return nil, err
+		}
+		s, p := c.Acquire(cap, ch)
+		out.Sensor.Add(s)
+		out.Probe.Add(p)
+	}
+	return &out, nil
+}
+
+// idleTraces records n sensor traces with no encryption running (only the
+// clock tree and any active Trojans radiate).
+func idleTraces(c *chip.Chip, ch chip.Channels, n, cycles int) ([]*trace.Trace, error) {
+	out := make([]*trace.Trace, 0, n)
+	for i := 0; i < n; i++ {
+		cap, err := c.CaptureIdle(cycles)
+		if err != nil {
+			return nil, err
+		}
+		s, _ := c.Acquire(cap, ch)
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+// infectedChip builds the chip carrying all Trojans, with everything
+// dormant.
+func infectedChip(cfg Config) (*chip.Chip, error) {
+	chipCfg := cfg.Chip
+	chipCfg.WithTrojans = true
+	c, err := chip.New(chipCfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := c.DeactivateAll(); err != nil {
+		return nil, err
+	}
+	c.EnableA2(false)
+	return c, nil
+}
+
+// withTrojan captures a population with exactly one Trojan active.
+func withTrojan(c *chip.Chip, cfg Config, ch chip.Channels, k trojan.Kind, n, cycles int) (*dualSet, error) {
+	if err := c.SetTrojan(k, true); err != nil {
+		return nil, err
+	}
+	set, err := captureSet(c, cfg, ch, n, cycles)
+	if derr := c.SetTrojan(k, false); derr != nil && err == nil {
+		err = derr
+	}
+	if err != nil {
+		return nil, fmt.Errorf("experiments: %v population: %w", k, err)
+	}
+	return set, nil
+}

@@ -1,0 +1,126 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"emtrust/internal/chip"
+	"emtrust/internal/dsp"
+	"emtrust/internal/report"
+)
+
+// WriteHTMLReport runs the core experiments and renders them as one
+// self-contained HTML page with the paper's figures as inline SVG.
+func WriteHTMLReport(cfg Config, w io.Writer) error {
+	r := report.New("emtrust — Runtime EM Trojan Detection, paper reproduction")
+
+	// Table I.
+	t1, err := Table1(cfg)
+	if err != nil {
+		return err
+	}
+	r.AddHeading("Table I — Trojan sizes", "Gate counts of the generated design versus the published shares.")
+	rows := [][]string{{"AES", fmt.Sprint(t1.AESGateCount), "100%", "100%"}}
+	for _, row := range t1.Rows {
+		gates := fmt.Sprint(row.GateCount)
+		if row.GateCount < 0 {
+			gates = "N/A"
+		}
+		rows = append(rows, []string{row.Name, gates,
+			fmt.Sprintf("%.3f%%", row.Percentage), fmt.Sprintf("%.3f%%", row.PaperPct)})
+	}
+	r.AddTable([]string{"circuit", "gates", "share (ours)", "share (paper)"}, rows)
+
+	// SNR.
+	for _, f := range []func(Config) (*SNRResult, error){SNRSimulation, SNRMeasured} {
+		res, err := f(cfg)
+		if err != nil {
+			return err
+		}
+		r.AddHeading(fmt.Sprintf("SNR — %s mode", res.Mode), "")
+		r.AddTable([]string{"channel", "ours (dB)", "paper (dB)"}, [][]string{
+			{"on-chip sensor", fmt.Sprintf("%.2f", res.SensorSNRdB), fmt.Sprintf("%.2f", res.PaperSensorSNRdB)},
+			{"external probe", fmt.Sprintf("%.2f", res.ProbeSNRdB), fmt.Sprintf("%.2f", res.PaperProbeSNRdB)},
+		})
+	}
+
+	// Figure 6 histograms, both channels.
+	for _, useSensor := range []bool{false, true} {
+		res, err := Fig6Histograms(cfg, useSensor)
+		if err != nil {
+			return err
+		}
+		which := "Figure 6(a)-(d) — external probe"
+		if useSensor {
+			which = "Figure 6(e)-(h) — on-chip sensor"
+		}
+		r.AddHeading(which, "Red: golden circuit. Blue: Trojan activated. Euclidean distance histograms.")
+		for _, p := range res.Panels {
+			r.AddBars(
+				fmt.Sprintf("%v — overlap %.2f, TVLA |t| %.1f", p.Trojan, p.Overlap, abs(p.TStat)),
+				"Euclidean distance (V)", p.Golden.Min, p.Golden.Max,
+				report.Series{Name: "golden", Values: counts(p.Golden.Counts)},
+				report.Series{Name: p.Trojan.String() + " active", Values: counts(p.Active.Counts)},
+			)
+		}
+	}
+
+	// Figure 4: A2 spectra.
+	if err := addA2Spectra(cfg, r); err != nil {
+		return err
+	}
+
+	return r.WriteHTML(w)
+}
+
+// addA2Spectra captures dormant and firing idle windows and plots their
+// spectra (the Figure 4 panel).
+func addA2Spectra(cfg Config, r *report.Report) error {
+	chipCfg := cfg.Chip
+	chipCfg.WithTrojans = false
+	chipCfg.WithA2 = true
+	c, err := chip.New(chipCfg)
+	if err != nil {
+		return err
+	}
+	ch := chip.SimulationChannels()
+	cycles := cfg.SpectralCycles
+	c.EnableA2(false)
+	dormant, err := idleTraces(c, ch, 1, cycles)
+	if err != nil {
+		return err
+	}
+	c.EnableA2(true)
+	if _, err := c.CaptureIdle(cycles); err != nil {
+		return err
+	}
+	firing, err := idleTraces(c, ch, 1, cycles)
+	if err != nil {
+		return err
+	}
+	specOff := dsp.NewSpectrum(dormant[0].Samples, dormant[0].Dt, cfg.Spectral.Window)
+	specOn := dsp.NewSpectrum(firing[0].Samples, firing[0].Dt, cfg.Spectral.Window)
+	limit := specOff.Bin(3 * cfg.Chip.Power.ClockHz) // up to the 3rd clock multiple
+	r.AddHeading("Figure 4 — A2 Trojan in the frequency domain",
+		"Blue: dormant. Red: triggering (fast-flipping trigger raises the clock harmonic).")
+	r.AddLines("sensor spectrum", "frequency (Hz)", 0, specOff.Frequency(limit), true,
+		report.Series{Name: "triggering", Color: "#c0392b", Values: specOn.Amplitude[:limit]},
+		report.Series{Name: "dormant", Color: "#2455a4", Values: specOff.Amplitude[:limit]},
+	)
+	return nil
+}
+
+func counts(c []int) []float64 {
+	out := make([]float64, len(c))
+	for i, v := range c {
+		out[i] = float64(v)
+	}
+	return out
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

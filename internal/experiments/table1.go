@@ -1,0 +1,83 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"emtrust/internal/aes"
+	"emtrust/internal/netlist"
+	"emtrust/internal/trojan"
+)
+
+// Table1Row is one column of the paper's Table I.
+type Table1Row struct {
+	Name       string
+	GateCount  int
+	Percentage float64 // of the AES gate count (area-based for A2)
+	PaperPct   float64 // the published percentage
+}
+
+// Table1Result reproduces Table I: Trojan sizes compared to the whole
+// AES design.
+type Table1Result struct {
+	AESGateCount int
+	PaperAESGate int
+	Rows         []Table1Row
+}
+
+// paperTable1 holds the published percentages.
+var paperTable1 = map[string]float64{
+	"T1": 5.01, "T2": 8.44, "T3": 0.76, "T4": 8.44, "A2": 0.087,
+}
+
+// Table1 generates the design and reports the size of every Trojan
+// relative to the AES core.
+func Table1(cfg Config) (*Table1Result, error) {
+	b := netlist.NewBuilder("table1")
+	core := aes.Generate(b)
+	for _, k := range trojan.Kinds() {
+		trojan.Generate(b, core, k, cfg.Chip.Trojan)
+	}
+	n := b.Build()
+
+	aesStats := n.Stats("aes")
+	res := &Table1Result{
+		AESGateCount: aesStats.Cells,
+		PaperAESGate: 33083,
+	}
+	for _, k := range trojan.Kinds() {
+		s := n.Stats(k.Region())
+		res.Rows = append(res.Rows, Table1Row{
+			Name:       k.String(),
+			GateCount:  s.Cells,
+			Percentage: 100 * float64(s.Cells) / float64(aesStats.Cells),
+			PaperPct:   paperTable1[k.String()],
+		})
+	}
+	// A2: six transistors; percentage computed on circuit area, like
+	// the paper's footnote.
+	res.Rows = append(res.Rows, Table1Row{
+		Name:       "A2",
+		GateCount:  -1, // "N/A" in the paper: gate count not applicable
+		Percentage: 100 * cfg.Chip.A2.AreaGE / aesStats.GateEquivalent,
+		PaperPct:   paperTable1["A2"],
+	})
+	return res, nil
+}
+
+// String renders the table in the paper's layout.
+func (r *Table1Result) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Table I: Trojan sizes compared to the whole AES design\n")
+	fmt.Fprintf(&sb, "%-8s %10s %12s %12s\n", "Circuit", "GateCount", "Pct(ours)", "Pct(paper)")
+	fmt.Fprintf(&sb, "%-8s %10d %12s %12s\n", "AES", r.AESGateCount, "100%", "100%")
+	for _, row := range r.Rows {
+		gates := fmt.Sprintf("%d", row.GateCount)
+		if row.GateCount < 0 {
+			gates = "N/A"
+		}
+		fmt.Fprintf(&sb, "%-8s %10s %11.3f%% %11.3f%%\n", row.Name, gates, row.Percentage, row.PaperPct)
+	}
+	fmt.Fprintf(&sb, "(paper AES gate count: %d)\n", r.PaperAESGate)
+	return sb.String()
+}

@@ -1,0 +1,281 @@
+// Package logic implements a levelized two-value synchronous simulator for
+// gate-level netlists. It evaluates the full combinational cone once per
+// clock cycle in topological order (glitch-free zero-delay semantics) and
+// reports every output toggle to an optional callback, which the power
+// model turns into switching current.
+package logic
+
+import (
+	"fmt"
+
+	"emtrust/internal/netlist"
+)
+
+// Simulator simulates one netlist instance. It is not safe for concurrent
+// use; create one Simulator per goroutine.
+type Simulator struct {
+	n      *netlist.Netlist
+	values []uint8 // current value per net (0 or 1)
+	order  []int   // combinational cell indices in topological order
+	seq    []int   // sequential cell indices
+	newQ   []uint8 // scratch for two-phase flip-flop update
+	cycle  int
+
+	// OnToggle, when non-nil, is invoked for every cell output toggle
+	// with the cell index and the new output value's direction
+	// (rise=true for a 0->1 transition). Flip-flop toggles fire at the
+	// clock edge, combinational toggles during settling; both belong to
+	// the cycle reported by Cycle() at callback time.
+	OnToggle func(cell int, rise bool)
+}
+
+// New builds a simulator for n. It fails if the combinational logic
+// contains a cycle (through non-sequential cells).
+func New(n *netlist.Netlist) (*Simulator, error) {
+	s := &Simulator{
+		n:      n,
+		values: make([]uint8, n.NumNets()),
+	}
+	for i, c := range n.Cells {
+		if c.Type.IsSequential() {
+			s.seq = append(s.seq, i)
+		}
+	}
+	s.newQ = make([]uint8, len(s.seq))
+	order, err := levelize(n)
+	if err != nil {
+		return nil, err
+	}
+	s.order = order
+	s.settle() // establish consistent all-zero-input state
+	return s, nil
+}
+
+// levelize returns the combinational cells of n in topological order using
+// Kahn's algorithm. Sequential cell outputs and primary inputs are
+// sources.
+func levelize(n *netlist.Netlist) ([]int, error) {
+	// fanout lists and in-degrees over combinational cells only.
+	indeg := make([]int, len(n.Cells))
+	fanout := make([][]int32, n.NumNets())
+	comb := 0
+	for i, c := range n.Cells {
+		if c.Type.IsSequential() {
+			continue
+		}
+		comb++
+		for _, in := range c.Inputs {
+			d := n.Driver(in)
+			if d >= 0 && !n.Cells[d].Type.IsSequential() {
+				indeg[i]++
+				fanout[in] = append(fanout[in], int32(i))
+			}
+		}
+	}
+	order := make([]int, 0, comb)
+	queue := make([]int, 0, comb)
+	for i, c := range n.Cells {
+		if !c.Type.IsSequential() && indeg[i] == 0 {
+			queue = append(queue, i)
+		}
+	}
+	for len(queue) > 0 {
+		i := queue[0]
+		queue = queue[1:]
+		order = append(order, i)
+		for _, j := range fanout[n.Cells[i].Output] {
+			indeg[j]--
+			if indeg[j] == 0 {
+				queue = append(queue, int(j))
+			}
+		}
+	}
+	if len(order) != comb {
+		return nil, fmt.Errorf("logic: netlist %s has a combinational cycle (%d of %d cells levelized)",
+			n.Name, len(order), comb)
+	}
+	return order, nil
+}
+
+// Netlist returns the design under simulation.
+func (s *Simulator) Netlist() *netlist.Netlist { return s.n }
+
+// Cycle returns the number of completed Tick calls since the last Reset.
+func (s *Simulator) Cycle() int { return s.cycle }
+
+// Reset zeroes all state and re-settles the combinational logic. Toggle
+// callbacks are suppressed during reset.
+func (s *Simulator) Reset() {
+	for i := range s.values {
+		s.values[i] = 0
+	}
+	s.cycle = 0
+	saved := s.OnToggle
+	s.OnToggle = nil
+	s.settle()
+	s.OnToggle = saved
+}
+
+// Net returns the current value (0 or 1) of a net.
+func (s *Simulator) Net(n netlist.Net) uint8 { return s.values[n] }
+
+// SetPortBits drives a named input port with the given bit values
+// (LSB first). The slice length must match the port width.
+func (s *Simulator) SetPortBits(name string, bits []uint8) error {
+	p, ok := s.n.InputPort(name)
+	if !ok {
+		return fmt.Errorf("logic: no input port %q on %s", name, s.n.Name)
+	}
+	if len(bits) != len(p.Nets) {
+		return fmt.Errorf("logic: port %q width %d, got %d bits", name, len(p.Nets), len(bits))
+	}
+	for i, b := range bits {
+		if b != 0 {
+			s.values[p.Nets[i]] = 1
+		} else {
+			s.values[p.Nets[i]] = 0
+		}
+	}
+	return nil
+}
+
+// SetPortUint drives up to 64 bits of a named input port from an integer
+// (LSB first). Wider ports have their upper bits cleared.
+func (s *Simulator) SetPortUint(name string, v uint64) error {
+	p, ok := s.n.InputPort(name)
+	if !ok {
+		return fmt.Errorf("logic: no input port %q on %s", name, s.n.Name)
+	}
+	for i, net := range p.Nets {
+		if i < 64 && v>>uint(i)&1 == 1 {
+			s.values[net] = 1
+		} else {
+			s.values[net] = 0
+		}
+	}
+	return nil
+}
+
+// PortBits samples a named output (or input) port, LSB first.
+func (s *Simulator) PortBits(name string) ([]uint8, error) {
+	p, ok := s.n.OutputPort(name)
+	if !ok {
+		p, ok = s.n.InputPort(name)
+		if !ok {
+			return nil, fmt.Errorf("logic: no port %q on %s", name, s.n.Name)
+		}
+	}
+	bits := make([]uint8, len(p.Nets))
+	for i, net := range p.Nets {
+		bits[i] = s.values[net]
+	}
+	return bits, nil
+}
+
+// PortUint samples up to 64 bits of a named port as an integer.
+func (s *Simulator) PortUint(name string) (uint64, error) {
+	bits, err := s.PortBits(name)
+	if err != nil {
+		return 0, err
+	}
+	var v uint64
+	for i, b := range bits {
+		if i >= 64 {
+			break
+		}
+		if b != 0 {
+			v |= 1 << uint(i)
+		}
+	}
+	return v, nil
+}
+
+// Settle propagates the combinational logic with the current input and
+// register values without advancing the clock. Most callers only need
+// Tick; Settle is useful to observe cycle-0 combinational outputs.
+func (s *Simulator) Settle() { s.settle() }
+
+// Tick advances one clock cycle: flip-flops capture their (previously
+// settled) D inputs at the rising edge, then the combinational logic
+// settles with the new register outputs and any inputs applied since the
+// last Tick.
+func (s *Simulator) Tick() {
+	s.cycle++
+	// Phase 1: sample every D/enable before writing any Q so that
+	// flip-flop chains shift correctly.
+	for k, ci := range s.seq {
+		c := &s.n.Cells[ci]
+		switch c.Type {
+		case netlist.DFF:
+			s.newQ[k] = s.values[c.Inputs[0]]
+		case netlist.DFFE:
+			if s.values[c.Inputs[1]] != 0 {
+				s.newQ[k] = s.values[c.Inputs[0]]
+			} else {
+				s.newQ[k] = s.values[c.Output]
+			}
+		}
+	}
+	// Phase 2: commit and report edges.
+	for k, ci := range s.seq {
+		out := s.n.Cells[ci].Output
+		old := s.values[out]
+		nv := s.newQ[k]
+		if nv != old {
+			s.values[out] = nv
+			if s.OnToggle != nil {
+				s.OnToggle(ci, nv == 1)
+			}
+		}
+	}
+	s.settle()
+}
+
+// Run advances the simulator n cycles.
+func (s *Simulator) Run(n int) {
+	for i := 0; i < n; i++ {
+		s.Tick()
+	}
+}
+
+func (s *Simulator) settle() {
+	v := s.values
+	for _, ci := range s.order {
+		c := &s.n.Cells[ci]
+		var nv uint8
+		switch c.Type {
+		case netlist.TieLo:
+			nv = 0
+		case netlist.TieHi:
+			nv = 1
+		case netlist.Buf:
+			nv = v[c.Inputs[0]]
+		case netlist.Inv:
+			nv = v[c.Inputs[0]] ^ 1
+		case netlist.And2:
+			nv = v[c.Inputs[0]] & v[c.Inputs[1]]
+		case netlist.Nand2:
+			nv = (v[c.Inputs[0]] & v[c.Inputs[1]]) ^ 1
+		case netlist.Or2:
+			nv = v[c.Inputs[0]] | v[c.Inputs[1]]
+		case netlist.Nor2:
+			nv = (v[c.Inputs[0]] | v[c.Inputs[1]]) ^ 1
+		case netlist.Xor2:
+			nv = v[c.Inputs[0]] ^ v[c.Inputs[1]]
+		case netlist.Xnor2:
+			nv = v[c.Inputs[0]] ^ v[c.Inputs[1]] ^ 1
+		case netlist.Mux2:
+			if v[c.Inputs[2]] != 0 {
+				nv = v[c.Inputs[1]]
+			} else {
+				nv = v[c.Inputs[0]]
+			}
+		}
+		if old := v[c.Output]; nv != old {
+			v[c.Output] = nv
+			if s.OnToggle != nil {
+				s.OnToggle(ci, nv == 1)
+			}
+		}
+	}
+}

@@ -1,0 +1,114 @@
+package logic
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+
+	"emtrust/internal/netlist"
+)
+
+func TestVCDDumpsCounter(t *testing.T) {
+	b := netlist.NewBuilder("ctr")
+	q := b.Counter(2, netlist.InvalidNet)
+	b.Output("q", q)
+	sim, err := New(b.Build())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	vcd, err := sim.NewVCD(&buf, "q")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := vcd.Begin(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		sim.Tick()
+		if err := vcd.Sample(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"$timescale", "$scope module ctr", "$var wire 1 ! q[0] $end",
+		"$var wire 1 \" q[1] $end", "$dumpvars", "#1", "#2", "#3", "#4",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in VCD:\n%s", want, out)
+		}
+	}
+	// Bit 0 toggles every cycle: four changes after time 0.
+	if got := strings.Count(out, "!"); got < 5 { // declaration + 4 changes
+		t.Errorf("bit-0 changes = %d", got)
+	}
+}
+
+func TestVCDQuietCycleEmitsNoTimestamp(t *testing.T) {
+	b := netlist.NewBuilder("hold")
+	in := b.Input("d", 1)
+	b.Output("o", []netlist.Net{b.Buf(in[0])})
+	sim, err := New(b.Build())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	vcd, err := sim.NewVCD(&buf, "o")
+	if err != nil {
+		t.Fatal(err)
+	}
+	vcd.Begin()
+	sim.Tick() // nothing changes
+	vcd.Sample()
+	if strings.Contains(buf.String(), "#1") {
+		t.Fatal("quiet cycle should emit no timestamp")
+	}
+	sim.SetPortUint("d", 1)
+	sim.Settle()
+	sim.Tick()
+	vcd.Sample()
+	if !strings.Contains(buf.String(), "#2") {
+		t.Fatal("change not recorded")
+	}
+}
+
+func TestVCDErrors(t *testing.T) {
+	b := netlist.NewBuilder("x")
+	in := b.Input("d", 1)
+	b.Output("o", []netlist.Net{b.Buf(in[0])})
+	sim, err := New(b.Build())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sim.NewVCD(&bytes.Buffer{}, "nope"); err == nil {
+		t.Fatal("unknown port must error")
+	}
+	if _, err := sim.NewVCD(&bytes.Buffer{}); err == nil {
+		t.Fatal("no ports must error")
+	}
+	if _, err := sim.NewVCD(brokenWriter{}, "o"); err == nil {
+		t.Fatal("write errors must propagate")
+	}
+}
+
+type brokenWriter struct{}
+
+func (brokenWriter) Write([]byte) (int, error) { return 0, fmt.Errorf("broken") }
+
+func TestVCDIDsUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for i := 0; i < 500; i++ {
+		id := vcdID(i)
+		if seen[id] {
+			t.Fatalf("duplicate id %q at %d", id, i)
+		}
+		seen[id] = true
+		for _, r := range id {
+			if r < 33 || r > 126 {
+				t.Fatalf("id %q contains non-printable rune", id)
+			}
+		}
+	}
+}

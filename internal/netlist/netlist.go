@@ -1,0 +1,276 @@
+// Package netlist provides a small structural gate-level netlist model: a
+// cell library, a net/cell graph, and a builder API used by the AES and
+// Trojan generators. Regions tag cells with a hierarchical origin so the
+// layout engine can cluster them and the experiment harness can report the
+// Table I gate-count breakdown.
+package netlist
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// CellType enumerates the primitive cells of the library.
+type CellType int
+
+// The cell library. Arity and semantics are fixed per type; see NumInputs.
+const (
+	TieLo CellType = iota // constant 0, no inputs
+	TieHi                 // constant 1, no inputs
+	Buf                   // y = a
+	Inv                   // y = !a
+	And2                  // y = a & b
+	Nand2                 // y = !(a & b)
+	Or2                   // y = a | b
+	Nor2                  // y = !(a | b)
+	Xor2                  // y = a ^ b
+	Xnor2                 // y = !(a ^ b)
+	Mux2                  // y = s ? b : a  (inputs a, b, s)
+	DFF                   // q <- d at clock edge (inputs d)
+	DFFE                  // q <- en ? d : q at clock edge (inputs d, en)
+	numCellTypes
+)
+
+var cellTypeNames = [...]string{
+	TieLo: "TIELO", TieHi: "TIEHI", Buf: "BUF", Inv: "INV",
+	And2: "AND2", Nand2: "NAND2", Or2: "OR2", Nor2: "NOR2",
+	Xor2: "XOR2", Xnor2: "XNOR2", Mux2: "MUX2", DFF: "DFF", DFFE: "DFFE",
+}
+
+// String returns the library name of the cell type.
+func (t CellType) String() string {
+	if t < 0 || int(t) >= len(cellTypeNames) {
+		return fmt.Sprintf("CellType(%d)", int(t))
+	}
+	return cellTypeNames[t]
+}
+
+// NumInputs returns the input arity of the cell type.
+func (t CellType) NumInputs() int {
+	switch t {
+	case TieLo, TieHi:
+		return 0
+	case Buf, Inv, DFF:
+		return 1
+	case And2, Nand2, Or2, Nor2, Xor2, Xnor2, DFFE:
+		return 2
+	case Mux2:
+		return 3
+	default:
+		panic(fmt.Sprintf("netlist: unknown cell type %d", int(t)))
+	}
+}
+
+// IsSequential reports whether the cell type holds state across clock
+// edges.
+func (t CellType) IsSequential() bool { return t == DFF || t == DFFE }
+
+// GateEquivalents returns the area of the cell type in NAND2-equivalent
+// units, loosely following a 180 nm standard-cell library. These weights
+// drive the Table I percentages and the layout footprint.
+func (t CellType) GateEquivalents() float64 {
+	switch t {
+	case TieLo, TieHi:
+		return 0.5
+	case Buf:
+		return 0.75
+	case Inv:
+		return 0.5
+	case Nand2, Nor2:
+		return 1.0
+	case And2, Or2:
+		return 1.25
+	case Xor2, Xnor2:
+		return 2.0
+	case Mux2:
+		return 2.25
+	case DFF:
+		return 5.0
+	case DFFE:
+		return 6.0
+	default:
+		return 1.0
+	}
+}
+
+// SwitchingCharge returns the charge in coulombs drawn from the supply
+// when the cell's output toggles, loosely calibrated to a 1.8 V 180 nm
+// process (tens of femtocoulombs per gate-equivalent). The power model
+// multiplies toggle counts by this weight.
+func (t CellType) SwitchingCharge() float64 {
+	const chargePerGE = 40e-15 // 40 fC per gate equivalent
+	return t.GateEquivalents() * chargePerGE
+}
+
+// Net identifies a single-bit wire. Net 0 is reserved as "invalid".
+type Net int
+
+// InvalidNet is the zero Net; it never names a real wire.
+const InvalidNet Net = 0
+
+// Cell is one instance of a library cell.
+type Cell struct {
+	Type   CellType
+	Region string // hierarchical tag, e.g. "aes/sbox0" or "trojan1"
+	Inputs []Net
+	Output Net
+	// Load is extra capacitance on the output net in farads (0 for an
+	// ordinary fanout). Pad and antenna drivers set it; the power model
+	// adds Load*VDD to the switching charge per toggle.
+	Load float64
+}
+
+// Port is a named bus of nets at the boundary of the netlist.
+type Port struct {
+	Name string
+	Nets []Net // LSB first
+}
+
+// Netlist is an immutable gate-level design produced by a Builder.
+type Netlist struct {
+	Name    string
+	Cells   []Cell
+	Inputs  []Port
+	Outputs []Port
+
+	numNets int
+	driver  []int // per net: driving cell index, -1 = primary input, -2 = unused slot
+	inPorts map[string]int
+}
+
+// NumNets returns the number of allocated nets, including the reserved
+// invalid net 0.
+func (n *Netlist) NumNets() int { return n.numNets }
+
+// Driver returns the index of the cell driving net, or -1 when the net is
+// a primary input.
+func (n *Netlist) Driver(net Net) int { return n.driver[net] }
+
+// InputPort returns the named input port.
+func (n *Netlist) InputPort(name string) (Port, bool) {
+	i, ok := n.inPorts[name]
+	if !ok {
+		return Port{}, false
+	}
+	return n.Inputs[i], true
+}
+
+// OutputPort returns the named output port.
+func (n *Netlist) OutputPort(name string) (Port, bool) {
+	for _, p := range n.Outputs {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return Port{}, false
+}
+
+// Stats aggregates cell counts and area.
+type Stats struct {
+	Cells          int
+	Sequential     int
+	GateEquivalent float64
+	ByType         map[CellType]int
+}
+
+// Stats returns design-wide statistics for cells whose region has the
+// given prefix. An empty prefix selects every cell.
+func (n *Netlist) Stats(regionPrefix string) Stats {
+	s := Stats{ByType: make(map[CellType]int)}
+	for _, c := range n.Cells {
+		if !strings.HasPrefix(c.Region, regionPrefix) {
+			continue
+		}
+		s.Cells++
+		s.ByType[c.Type]++
+		s.GateEquivalent += c.Type.GateEquivalents()
+		if c.Type.IsSequential() {
+			s.Sequential++
+		}
+	}
+	return s
+}
+
+// Regions returns the sorted list of distinct top-level region names
+// (the first path segment of each cell's region tag).
+func (n *Netlist) Regions() []string {
+	seen := make(map[string]bool)
+	for _, c := range n.Cells {
+		top := c.Region
+		if i := strings.IndexByte(top, '/'); i >= 0 {
+			top = top[:i]
+		}
+		seen[top] = true
+	}
+	out := make([]string, 0, len(seen))
+	for r := range seen {
+		out = append(out, r)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// StuckAt returns a copy of the netlist with the driver of net replaced
+// by a constant tie cell — a stuck-at fault. Primary inputs cannot be
+// stuck this way. The copy shares unmodified cell data with the
+// original, which must not be mutated afterwards.
+func (n *Netlist) StuckAt(net Net, value bool) (*Netlist, error) {
+	if net <= InvalidNet || int(net) >= n.numNets {
+		return nil, fmt.Errorf("netlist: stuck-at on invalid net %d", net)
+	}
+	d := n.driver[net]
+	if d < 0 {
+		return nil, fmt.Errorf("netlist: net %d has no driving cell (primary input?)", net)
+	}
+	cells := make([]Cell, len(n.Cells))
+	copy(cells, n.Cells)
+	t := TieLo
+	if value {
+		t = TieHi
+	}
+	cells[d] = Cell{Type: t, Region: n.Cells[d].Region, Output: net}
+	out := &Netlist{
+		Name:    n.Name + "_sa",
+		Cells:   cells,
+		Inputs:  n.Inputs,
+		Outputs: n.Outputs,
+		numNets: n.numNets,
+		driver:  n.driver,
+		inPorts: n.inPorts,
+	}
+	if err := out.Check(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Check validates structural invariants: every cell input is a driven,
+// valid net; every net has at most one driver; arities match cell types.
+// It returns the first violation found, or nil.
+func (n *Netlist) Check() error {
+	for i, c := range n.Cells {
+		if got, want := len(c.Inputs), c.Type.NumInputs(); got != want {
+			return fmt.Errorf("netlist %s: cell %d (%v) has %d inputs, want %d", n.Name, i, c.Type, got, want)
+		}
+		if c.Output <= InvalidNet || int(c.Output) >= n.numNets {
+			return fmt.Errorf("netlist %s: cell %d (%v) drives invalid net %d", n.Name, i, c.Type, c.Output)
+		}
+		for k, in := range c.Inputs {
+			if in <= InvalidNet || int(in) >= n.numNets {
+				return fmt.Errorf("netlist %s: cell %d (%v) input %d is invalid net %d", n.Name, i, c.Type, k, in)
+			}
+			if n.driver[in] == -2 {
+				return fmt.Errorf("netlist %s: cell %d (%v) input %d reads undriven net %d", n.Name, i, c.Type, k, in)
+			}
+		}
+	}
+	for _, p := range n.Outputs {
+		for k, net := range p.Nets {
+			if net <= InvalidNet || int(net) >= n.numNets || n.driver[net] == -2 {
+				return fmt.Errorf("netlist %s: output %s[%d] reads invalid or undriven net %d", n.Name, p.Name, k, net)
+			}
+		}
+	}
+	return nil
+}

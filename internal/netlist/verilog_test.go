@@ -1,0 +1,111 @@
+package netlist
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func buildVerilogSample(t *testing.T) *Netlist {
+	t.Helper()
+	b := NewBuilder("v-sample 1")
+	in := b.Input("data_in", 2)
+	b.SetRegion("logic")
+	x := b.Xor(in[0], in[1])
+	q := b.Reg(x)
+	en := b.Input("en", 1)
+	qe := b.RegE(q, en[0])
+	b.Output("q", []Net{qe})
+	b.Output("mix", []Net{b.Mux(in[0], in[1], qe), b.Low(), b.High()})
+	return b.Build()
+}
+
+func TestWriteVerilogStructure(t *testing.T) {
+	n := buildVerilogSample(t)
+	var buf bytes.Buffer
+	if err := WriteVerilog(&buf, n); err != nil {
+		t.Fatal(err)
+	}
+	v := buf.String()
+	for _, want := range []string{
+		"module v_sample_1 (",
+		"input wire clk",
+		"input wire [1:0] data_in",
+		"output wire [0:0] q",
+		"output wire [2:0] mix",
+		"// region: logic",
+		"always @(posedge clk)",
+		"endmodule",
+	} {
+		if !strings.Contains(v, want) {
+			t.Errorf("missing %q in output:\n%s", want, v)
+		}
+	}
+	// One always block per flip-flop.
+	if got := strings.Count(v, "always @(posedge clk)"); got != 2 {
+		t.Fatalf("always blocks = %d, want 2", got)
+	}
+	// The enabled flop gates on its enable net.
+	if !strings.Contains(v, "if (n[") {
+		t.Error("DFFE enable missing")
+	}
+	// Balanced module/endmodule.
+	if strings.Count(v, "module ") != 1 || strings.Count(v, "endmodule") != 1 {
+		t.Error("module bracketing wrong")
+	}
+}
+
+func TestWriteVerilogAllCellTypes(t *testing.T) {
+	b := NewBuilder("all")
+	in := b.Input("i", 3)
+	outs := []Net{
+		b.Buf(in[0]), b.Not(in[0]),
+		b.And(in[0], in[1]), b.Nand(in[0], in[1]),
+		b.Or(in[0], in[1]), b.Nor(in[0], in[1]),
+		b.Xor(in[0], in[1]), b.Xnor(in[0], in[1]),
+		b.Mux(in[0], in[1], in[2]),
+		b.Low(), b.High(),
+		b.Reg(in[0]), b.RegE(in[0], in[1]),
+	}
+	b.Output("o", outs)
+	var buf bytes.Buffer
+	if err := WriteVerilog(&buf, b.Build()); err != nil {
+		t.Fatal(err)
+	}
+	v := buf.String()
+	for _, op := range []string{" & ", " | ", " ^ ", "~(", " ? ", "1'b0;", "1'b1;"} {
+		if !strings.Contains(v, op) {
+			t.Errorf("operator %q missing", op)
+		}
+	}
+	if strings.Contains(v, "1'bx") {
+		t.Error("unknown cell leaked into output")
+	}
+}
+
+func TestWriteVerilogPropagatesErrors(t *testing.T) {
+	n := buildVerilogSample(t)
+	if err := WriteVerilog(failingWriter{}, n); err == nil {
+		t.Fatal("write errors must propagate")
+	}
+}
+
+type failingWriter struct{}
+
+func (failingWriter) Write([]byte) (int, error) { return 0, fmt.Errorf("disk full") }
+
+func TestSanitize(t *testing.T) {
+	cases := map[string]string{
+		"aes_core": "aes_core",
+		"v 1":      "v_1",
+		"9lives":   "_9lives",
+		"":         "_",
+		"a/b":      "a_b",
+	}
+	for in, want := range cases {
+		if got := sanitize(in); got != want {
+			t.Errorf("sanitize(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -1,0 +1,281 @@
+package power
+
+import (
+	"math"
+	"testing"
+
+	"emtrust/internal/layout"
+	"emtrust/internal/netlist"
+)
+
+// smallPlan builds a small placed netlist: an inverter chain plus a few
+// flip-flops.
+func smallPlan(t testing.TB) (*layout.Floorplan, *netlist.Netlist) {
+	t.Helper()
+	b := netlist.NewBuilder("small")
+	in := b.Input("in", 1)
+	b.SetRegion("logic")
+	x := in[0]
+	for i := 0; i < 10; i++ {
+		x = b.Not(x)
+	}
+	q := b.Reg(x)
+	b.Reg(q)
+	b.Output("o", []netlist.Net{q})
+	n := b.Build()
+	cfg := layout.DefaultConfig()
+	cfg.TilesX, cfg.TilesY = 4, 4
+	fp, err := layout.Place(n, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fp, n
+}
+
+func TestNewRecorderValidation(t *testing.T) {
+	fp, _ := smallPlan(t)
+	bad := DefaultConfig()
+	bad.ClockHz = 0
+	if _, err := NewRecorder(bad, fp); err == nil {
+		t.Fatal("zero clock must error")
+	}
+	bad = DefaultConfig()
+	bad.PulseFraction = 0
+	if _, err := NewRecorder(bad, fp); err == nil {
+		t.Fatal("zero pulse fraction must error")
+	}
+}
+
+func TestPulseShapeUnitCharge(t *testing.T) {
+	cfg := DefaultConfig()
+	shape := pulseShape(cfg)
+	sum := 0.0
+	for _, v := range shape {
+		sum += v * cfg.Dt()
+	}
+	if math.Abs(sum-1) > 1e-12 {
+		t.Fatalf("pulse integral = %g, want 1", sum)
+	}
+	if len(shape) < 1 || len(shape) > cfg.SamplesPerCycle {
+		t.Fatalf("pulse length %d", len(shape))
+	}
+}
+
+func TestToggleChargeConservation(t *testing.T) {
+	fp, n := smallPlan(t)
+	cfg := DefaultConfig()
+	cfg.ClockPinCharge = 0 // isolate toggle charge
+	rec, err := NewRecorder(cfg, fp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec.Begin(4)
+	// Toggle cell 0 twice in cycle 0 and cell 1 once in cycle 2.
+	rec.OnToggle(0, true)
+	rec.OnToggle(0, false)
+	if err := rec.EndCycle(); err != nil {
+		t.Fatal(err)
+	}
+	if err := rec.EndCycle(); err != nil {
+		t.Fatal(err)
+	}
+	rec.OnToggle(1, true)
+	if err := rec.EndCycle(); err != nil {
+		t.Fatal(err)
+	}
+	if err := rec.EndCycle(); err != nil {
+		t.Fatal(err)
+	}
+	want := 2*n.Cells[0].Type.SwitchingCharge() + n.Cells[1].Type.SwitchingCharge()
+	if got := rec.TotalCharge(); math.Abs(got-want) > want*1e-9 {
+		t.Fatalf("total charge = %g, want %g", got, want)
+	}
+	if rec.Cycle() != 4 {
+		t.Fatalf("cycle = %d", rec.Cycle())
+	}
+}
+
+func TestClockTreeChargePerCycle(t *testing.T) {
+	fp, _ := smallPlan(t)
+	cfg := DefaultConfig()
+	rec, err := NewRecorder(cfg, fp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ffs := 0
+	for _, c := range rec.TileFFCount() {
+		ffs += c
+	}
+	if ffs != 2 {
+		t.Fatalf("flip-flop count = %d, want 2", ffs)
+	}
+	rec.Begin(3)
+	for i := 0; i < 3; i++ {
+		if err := rec.EndCycle(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := 3 * 2 * cfg.ClockPinCharge
+	if got := rec.TotalCharge(); math.Abs(got-want) > want*1e-9 {
+		t.Fatalf("clock charge = %g, want %g", got, want)
+	}
+}
+
+func TestStaticCurrent(t *testing.T) {
+	fp, _ := smallPlan(t)
+	cfg := DefaultConfig()
+	cfg.ClockPinCharge = 0
+	rec, err := NewRecorder(cfg, fp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec.Begin(2)
+	rec.AddStaticCurrent(3, 1e-3)
+	if err := rec.EndCycle(); err != nil {
+		t.Fatal(err)
+	}
+	if err := rec.EndCycle(); err != nil {
+		t.Fatal(err)
+	}
+	// 1 mA over one cycle at 12 MHz = 83.3 pC.
+	want := 1e-3 / cfg.ClockHz
+	if got := rec.TotalCharge(); math.Abs(got-want) > want*1e-9 {
+		t.Fatalf("static charge = %g, want %g", got, want)
+	}
+	// Entirely inside cycle 0.
+	w := rec.Currents()[3]
+	for i := cfg.SamplesPerCycle; i < len(w); i++ {
+		if w[i] != 0 {
+			t.Fatal("static current leaked into the next cycle")
+		}
+	}
+}
+
+func TestFastToggles(t *testing.T) {
+	fp, _ := smallPlan(t)
+	cfg := DefaultConfig()
+	cfg.ClockPinCharge = 0
+	rec, err := NewRecorder(cfg, fp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec.Begin(1)
+	rec.AddFastToggles(0, 4, 1e-15)
+	rec.AddFastToggles(0, 0, 1e-15) // no-op
+	rec.AddFastToggles(0, 2, 0)     // no-op
+	if err := rec.EndCycle(); err != nil {
+		t.Fatal(err)
+	}
+	want := 4e-15
+	if got := rec.TotalCharge(); math.Abs(got-want) > want*0.3 {
+		// Pulses near the cycle end may clip; most charge must land.
+		t.Fatalf("fast-toggle charge = %g, want ~%g", got, want)
+	}
+	// The four pulses must hit four distinct sub-cycle offsets.
+	w := rec.Currents()[0]
+	nonzero := 0
+	for _, v := range w {
+		if v != 0 {
+			nonzero++
+		}
+	}
+	if nonzero < 4 {
+		t.Fatalf("fast toggles occupy only %d samples", nonzero)
+	}
+}
+
+func TestEndCyclePastCapture(t *testing.T) {
+	fp, _ := smallPlan(t)
+	rec, err := NewRecorder(DefaultConfig(), fp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec.Begin(1)
+	if err := rec.EndCycle(); err != nil {
+		t.Fatal(err)
+	}
+	if err := rec.EndCycle(); err == nil {
+		t.Fatal("EndCycle past capture must error")
+	}
+}
+
+func TestBeginResetsState(t *testing.T) {
+	fp, _ := smallPlan(t)
+	cfg := DefaultConfig()
+	cfg.ClockPinCharge = 0
+	rec, err := NewRecorder(cfg, fp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec.Begin(1)
+	rec.OnToggle(0, true)
+	rec.AddStaticCurrent(0, 1)
+	rec.AddFastToggles(0, 2, 1e-15)
+	// Begin again without EndCycle: everything booked must vanish.
+	rec.Begin(1)
+	if err := rec.EndCycle(); err != nil {
+		t.Fatal(err)
+	}
+	if got := rec.TotalCharge(); got != 0 {
+		t.Fatalf("stale activity survived Begin: %g", got)
+	}
+}
+
+func TestDtAndConfig(t *testing.T) {
+	cfg := DefaultConfig()
+	want := 1 / (cfg.ClockHz * float64(cfg.SamplesPerCycle))
+	if cfg.Dt() != want {
+		t.Fatal("Dt wrong")
+	}
+	fp, _ := smallPlan(t)
+	rec, _ := NewRecorder(cfg, fp)
+	if rec.Dt() != want || rec.Config().ClockHz != cfg.ClockHz {
+		t.Fatal("accessors wrong")
+	}
+}
+
+func TestProcessVariation(t *testing.T) {
+	fp, n := smallPlan(t)
+	base := DefaultConfig()
+	base.ClockPinCharge = 0
+
+	varied := base
+	varied.VariationSigma = 0.1
+	varied.CornerSigma = 0.1
+	varied.VariationSeed = 5
+
+	charge := func(cfg Config) float64 {
+		rec, err := NewRecorder(cfg, fp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rec.Begin(1)
+		for i := range n.Cells {
+			rec.OnToggle(i, true)
+		}
+		if err := rec.EndCycle(); err != nil {
+			t.Fatal(err)
+		}
+		return rec.TotalCharge()
+	}
+
+	nominal := charge(base)
+	sampleA := charge(varied)
+	if sampleA == nominal {
+		t.Fatal("variation had no effect")
+	}
+	// Same seed reproduces the same chip.
+	if charge(varied) != sampleA {
+		t.Fatal("variation not deterministic per seed")
+	}
+	// A different seed gives a different chip.
+	other := varied
+	other.VariationSeed = 6
+	if charge(other) == sampleA {
+		t.Fatal("different seeds must differ")
+	}
+	// Variation is bounded: within ~50% of nominal at sigma 0.1.
+	if sampleA < nominal*0.5 || sampleA > nominal*1.5 {
+		t.Fatalf("variation unreasonable: %g vs %g", sampleA, nominal)
+	}
+}

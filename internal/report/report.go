@@ -1,0 +1,242 @@
+// Package report renders experiment results into a single
+// self-contained HTML page with inline-SVG charts — the Figure 6
+// histogram panels and Figure 4 spectra in the paper's red/blue
+// colouring, plus the comparison tables, with no external assets.
+package report
+
+import (
+	"fmt"
+	"html"
+	"io"
+	"math"
+	"strings"
+)
+
+// Report accumulates sections and renders them as one HTML document.
+type Report struct {
+	title    string
+	sections []string
+}
+
+// New creates an empty report with the given page title.
+func New(title string) *Report {
+	return &Report{title: title}
+}
+
+// AddHeading appends a section heading with optional prose.
+func (r *Report) AddHeading(title, prose string) {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "<h2>%s</h2>\n", html.EscapeString(title))
+	if prose != "" {
+		fmt.Fprintf(&sb, "<p>%s</p>\n", html.EscapeString(prose))
+	}
+	r.sections = append(r.sections, sb.String())
+}
+
+// AddTable appends a simple table.
+func (r *Report) AddTable(headers []string, rows [][]string) {
+	var sb strings.Builder
+	sb.WriteString("<table>\n<tr>")
+	for _, h := range headers {
+		fmt.Fprintf(&sb, "<th>%s</th>", html.EscapeString(h))
+	}
+	sb.WriteString("</tr>\n")
+	for _, row := range rows {
+		sb.WriteString("<tr>")
+		for _, cell := range row {
+			fmt.Fprintf(&sb, "<td>%s</td>", html.EscapeString(cell))
+		}
+		sb.WriteString("</tr>\n")
+	}
+	sb.WriteString("</table>\n")
+	r.sections = append(r.sections, sb.String())
+}
+
+// AddPre appends preformatted text (ASCII renderings).
+func (r *Report) AddPre(text string) {
+	r.sections = append(r.sections,
+		fmt.Sprintf("<pre>%s</pre>\n", html.EscapeString(text)))
+}
+
+// Series is one named data series for a chart.
+type Series struct {
+	Name   string
+	Color  string // CSS color; defaults alternate red/blue
+	Values []float64
+}
+
+const (
+	chartW, chartH = 560, 220
+	margin         = 36
+)
+
+// AddBars appends an overlaid bar chart (the Figure 6 histogram style):
+// every series shares the x-axis bins; bars are translucent so overlap
+// shows.
+func (r *Report) AddBars(title, xLabel string, xMin, xMax float64, series ...Series) {
+	var sb strings.Builder
+	openSVG(&sb, title)
+	maxV := 0.0
+	bins := 0
+	for _, s := range series {
+		for _, v := range s.Values {
+			if v > maxV {
+				maxV = v
+			}
+		}
+		if len(s.Values) > bins {
+			bins = len(s.Values)
+		}
+	}
+	if maxV == 0 || bins == 0 {
+		sb.WriteString("</svg>\n")
+		r.sections = append(r.sections, sb.String())
+		return
+	}
+	plotW := float64(chartW - 2*margin)
+	plotH := float64(chartH - 2*margin)
+	bw := plotW / float64(bins)
+	for si, s := range series {
+		color := s.Color
+		if color == "" {
+			color = defaultColor(si)
+		}
+		for i, v := range s.Values {
+			if v == 0 {
+				continue
+			}
+			h := v / maxV * plotH
+			x := margin + float64(i)*bw
+			y := float64(chartH-margin) - h
+			fmt.Fprintf(&sb,
+				`<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="%s" fill-opacity="0.55"/>`+"\n",
+				x, y, bw*0.9, h, color)
+		}
+	}
+	axes(&sb, xLabel, xMin, xMax, maxV)
+	legend(&sb, series)
+	sb.WriteString("</svg>\n")
+	r.sections = append(r.sections, sb.String())
+}
+
+// AddLines appends a line chart (the Figure 4 / Figure 6 spectrum
+// style). Values are plotted on a log10 y-axis when logY is set.
+func (r *Report) AddLines(title, xLabel string, xMin, xMax float64, logY bool, series ...Series) {
+	var sb strings.Builder
+	openSVG(&sb, title)
+	maxV, minV := 0.0, math.Inf(1)
+	n := 0
+	for _, s := range series {
+		for _, v := range s.Values {
+			if v > maxV {
+				maxV = v
+			}
+			if v > 0 && v < minV {
+				minV = v
+			}
+		}
+		if len(s.Values) > n {
+			n = len(s.Values)
+		}
+	}
+	if maxV == 0 || n < 2 {
+		sb.WriteString("</svg>\n")
+		r.sections = append(r.sections, sb.String())
+		return
+	}
+	if !logY {
+		minV = 0
+	}
+	plotW := float64(chartW - 2*margin)
+	plotH := float64(chartH - 2*margin)
+	yOf := func(v float64) float64 {
+		var frac float64
+		if logY {
+			if v <= minV {
+				frac = 0
+			} else {
+				frac = math.Log10(v/minV) / math.Log10(maxV/minV)
+			}
+		} else {
+			frac = v / maxV
+		}
+		return float64(chartH-margin) - frac*plotH
+	}
+	for si, s := range series {
+		color := s.Color
+		if color == "" {
+			color = defaultColor(si)
+		}
+		var pts []string
+		for i, v := range s.Values {
+			x := margin + float64(i)/float64(n-1)*plotW
+			pts = append(pts, fmt.Sprintf("%.1f,%.1f", x, yOf(v)))
+		}
+		fmt.Fprintf(&sb, `<polyline points="%s" fill="none" stroke="%s" stroke-width="1.2"/>`+"\n",
+			strings.Join(pts, " "), color)
+	}
+	axes(&sb, xLabel, xMin, xMax, maxV)
+	legend(&sb, series)
+	sb.WriteString("</svg>\n")
+	r.sections = append(r.sections, sb.String())
+}
+
+func openSVG(sb *strings.Builder, title string) {
+	fmt.Fprintf(sb, `<h3>%s</h3><svg viewBox="0 0 %d %d" width="%d" height="%d" role="img">`+"\n",
+		html.EscapeString(title), chartW, chartH, chartW, chartH)
+	fmt.Fprintf(sb, `<rect x="0" y="0" width="%d" height="%d" fill="#fcfcfc"/>`+"\n", chartW, chartH)
+}
+
+func axes(sb *strings.Builder, xLabel string, xMin, xMax, yMax float64) {
+	fmt.Fprintf(sb, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="#333"/>`+"\n",
+		margin, chartH-margin, chartW-margin, chartH-margin)
+	fmt.Fprintf(sb, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="#333"/>`+"\n",
+		margin, margin, margin, chartH-margin)
+	fmt.Fprintf(sb, `<text x="%d" y="%d" font-size="10" fill="#333">%s</text>`+"\n",
+		margin, chartH-8, html.EscapeString(fmt.Sprintf("%s: %.3g .. %.3g", xLabel, xMin, xMax)))
+	fmt.Fprintf(sb, `<text x="4" y="%d" font-size="10" fill="#333">%.3g</text>`+"\n",
+		margin+4, yMax)
+}
+
+func legend(sb *strings.Builder, series []Series) {
+	x := chartW - margin - 150
+	y := margin
+	for si, s := range series {
+		color := s.Color
+		if color == "" {
+			color = defaultColor(si)
+		}
+		fmt.Fprintf(sb, `<rect x="%d" y="%d" width="10" height="10" fill="%s"/>`+"\n", x, y+si*14, color)
+		fmt.Fprintf(sb, `<text x="%d" y="%d" font-size="10" fill="#333">%s</text>`+"\n",
+			x+14, y+si*14+9, html.EscapeString(s.Name))
+	}
+}
+
+func defaultColor(i int) string {
+	// The paper's plots: golden red, Trojan blue.
+	colors := []string{"#c0392b", "#2455a4", "#1e8449", "#8e44ad"}
+	return colors[i%len(colors)]
+}
+
+// WriteHTML renders the full document.
+func (r *Report) WriteHTML(w io.Writer) error {
+	var sb strings.Builder
+	sb.WriteString("<!DOCTYPE html>\n<html><head><meta charset=\"utf-8\">\n")
+	fmt.Fprintf(&sb, "<title>%s</title>\n", html.EscapeString(r.title))
+	sb.WriteString(`<style>
+body { font-family: system-ui, sans-serif; margin: 2rem auto; max-width: 60rem; color: #222; }
+table { border-collapse: collapse; margin: 0.6rem 0; }
+th, td { border: 1px solid #bbb; padding: 0.25rem 0.6rem; font-size: 0.9rem; }
+th { background: #f2f2f2; }
+pre { background: #f7f7f7; padding: 0.6rem; overflow-x: auto; font-size: 0.8rem; }
+svg { border: 1px solid #ddd; margin: 0.4rem 0; }
+</style></head><body>
+`)
+	fmt.Fprintf(&sb, "<h1>%s</h1>\n", html.EscapeString(r.title))
+	for _, s := range r.sections {
+		sb.WriteString(s)
+	}
+	sb.WriteString("</body></html>\n")
+	_, err := io.WriteString(w, sb.String())
+	return err
+}

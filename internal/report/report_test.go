@@ -1,0 +1,110 @@
+package report
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func TestWriteHTMLBasics(t *testing.T) {
+	r := New("Test <Report>")
+	r.AddHeading("Section & One", "prose with <tags>")
+	r.AddTable([]string{"a", "b"}, [][]string{{"1", "x<y"}, {"2", "z"}})
+	r.AddPre("line1\nline2 <pre>")
+	var buf bytes.Buffer
+	if err := r.WriteHTML(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"<!DOCTYPE html>",
+		"Test &lt;Report&gt;",
+		"Section &amp; One",
+		"<td>x&lt;y</td>",
+		"line2 &lt;pre&gt;",
+		"</html>",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q", want)
+		}
+	}
+	// Nothing unescaped leaked through.
+	if strings.Contains(out, "<tags>") || strings.Contains(out, "x<y") {
+		t.Error("HTML injection not escaped")
+	}
+}
+
+func TestAddBars(t *testing.T) {
+	r := New("bars")
+	r.AddBars("histogram", "distance", 0, 1,
+		Series{Name: "golden", Values: []float64{5, 10, 2, 0}},
+		Series{Name: "active", Values: []float64{0, 1, 8, 9}},
+	)
+	var buf bytes.Buffer
+	if err := r.WriteHTML(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if got := strings.Count(out, "<rect"); got < 7 { // background + 6 nonzero bars
+		t.Fatalf("rect count = %d", got)
+	}
+	if !strings.Contains(out, "golden") || !strings.Contains(out, "active") {
+		t.Error("legend missing")
+	}
+	// Empty chart degenerates without panicking.
+	r2 := New("empty")
+	r2.AddBars("nothing", "x", 0, 1, Series{Name: "none", Values: []float64{0, 0}})
+	if err := r2.WriteHTML(&bytes.Buffer{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAddLines(t *testing.T) {
+	r := New("lines")
+	r.AddLines("spectrum", "Hz", 0, 1e6, true,
+		Series{Name: "on", Values: []float64{1e-9, 5e-9, 2e-8, 1e-9}},
+		Series{Name: "off", Values: []float64{1e-9, 2e-9, 3e-9, 1e-9}},
+	)
+	r.AddLines("linear", "Hz", 0, 1e6, false,
+		Series{Name: "a", Values: []float64{0, 1, 2, 3}},
+	)
+	var buf bytes.Buffer
+	if err := r.WriteHTML(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if got := strings.Count(out, "<polyline"); got != 3 {
+		t.Fatalf("polyline count = %d", got)
+	}
+	// Degenerate inputs.
+	r2 := New("deg")
+	r2.AddLines("too short", "x", 0, 1, false, Series{Name: "s", Values: []float64{1}})
+	if err := r2.WriteHTML(&bytes.Buffer{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWriteHTMLPropagatesError(t *testing.T) {
+	r := New("x")
+	if err := r.WriteHTML(failWriter{}); err == nil {
+		t.Fatal("write error must propagate")
+	}
+}
+
+type failWriter struct{}
+
+func (failWriter) Write([]byte) (int, error) { return 0, fmt.Errorf("nope") }
+
+func TestDefaultColorsCycle(t *testing.T) {
+	seen := map[string]bool{}
+	for i := 0; i < 4; i++ {
+		seen[defaultColor(i)] = true
+	}
+	if len(seen) != 4 {
+		t.Fatalf("colors = %v", seen)
+	}
+	if defaultColor(0) != defaultColor(4) {
+		t.Fatal("colors must cycle")
+	}
+}

@@ -1,0 +1,151 @@
+// Package stats implements the statistical machinery of the paper's data
+// analysis module: covariance and PCA (Section III-D mentions PCA for
+// dimensionality reduction), Euclidean-distance fingerprinting with the
+// Eq. (1) max-pairwise golden threshold, and histogram utilities used to
+// reproduce Figure 6.
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// Matrix is a dense row-major matrix of float64 values.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float64 // len Rows*Cols, row-major
+}
+
+// NewMatrix allocates a zero matrix of the given shape.
+func NewMatrix(rows, cols int) *Matrix {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("stats: invalid matrix shape %dx%d", rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// At returns element (i, j).
+func (m *Matrix) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set stores v at element (i, j).
+func (m *Matrix) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
+
+// Row returns a view of row i (not a copy).
+func (m *Matrix) Row(i int) []float64 { return m.Data[i*m.Cols : (i+1)*m.Cols] }
+
+// Clone returns a deep copy of m.
+func (m *Matrix) Clone() *Matrix {
+	out := NewMatrix(m.Rows, m.Cols)
+	copy(out.Data, m.Data)
+	return out
+}
+
+// Transpose returns a new matrix that is the transpose of m.
+func (m *Matrix) Transpose() *Matrix {
+	out := NewMatrix(m.Cols, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			out.Set(j, i, m.At(i, j))
+		}
+	}
+	return out
+}
+
+// Mul returns the matrix product m * b.
+func (m *Matrix) Mul(b *Matrix) *Matrix {
+	if m.Cols != b.Rows {
+		panic(fmt.Sprintf("stats: dimension mismatch %dx%d * %dx%d", m.Rows, m.Cols, b.Rows, b.Cols))
+	}
+	out := NewMatrix(m.Rows, b.Cols)
+	for i := 0; i < m.Rows; i++ {
+		mi := m.Row(i)
+		oi := out.Row(i)
+		for k, mik := range mi {
+			if mik == 0 {
+				continue
+			}
+			bk := b.Row(k)
+			for j, bkj := range bk {
+				oi[j] += mik * bkj
+			}
+		}
+	}
+	return out
+}
+
+// MulVec returns m * v for a column vector v.
+func (m *Matrix) MulVec(v []float64) []float64 {
+	if m.Cols != len(v) {
+		panic(fmt.Sprintf("stats: dimension mismatch %dx%d * %d", m.Rows, m.Cols, len(v)))
+	}
+	out := make([]float64, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		sum := 0.0
+		for j, r := range row {
+			sum += r * v[j]
+		}
+		out[i] = sum
+	}
+	return out
+}
+
+// ColumnMeans returns the mean of each column of m.
+func (m *Matrix) ColumnMeans() []float64 {
+	means := make([]float64, m.Cols)
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		for j, v := range row {
+			means[j] += v
+		}
+	}
+	if m.Rows > 0 {
+		for j := range means {
+			means[j] /= float64(m.Rows)
+		}
+	}
+	return means
+}
+
+// Covariance returns the sample covariance matrix (Cols x Cols) of the row
+// observations in m, using the n-1 denominator.
+func (m *Matrix) Covariance() *Matrix {
+	means := m.ColumnMeans()
+	cov := NewMatrix(m.Cols, m.Cols)
+	if m.Rows < 2 {
+		return cov
+	}
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		for a := 0; a < m.Cols; a++ {
+			da := row[a] - means[a]
+			if da == 0 {
+				continue
+			}
+			crow := cov.Row(a)
+			for b := 0; b < m.Cols; b++ {
+				crow[b] += da * (row[b] - means[b])
+			}
+		}
+	}
+	inv := 1 / float64(m.Rows-1)
+	for i := range cov.Data {
+		cov.Data[i] *= inv
+	}
+	return cov
+}
+
+// MaxOffDiagonal returns the largest absolute off-diagonal element of a
+// square matrix, along with its indices (p < q).
+func (m *Matrix) MaxOffDiagonal() (p, q int, v float64) {
+	p, q = 0, 1
+	for i := 0; i < m.Rows; i++ {
+		for j := i + 1; j < m.Cols; j++ {
+			if a := math.Abs(m.At(i, j)); a > v {
+				v = a
+				p, q = i, j
+			}
+		}
+	}
+	return p, q, v
+}

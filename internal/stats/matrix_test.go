@@ -1,0 +1,165 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMatrixBasics(t *testing.T) {
+	m := NewMatrix(2, 3)
+	m.Set(0, 0, 1)
+	m.Set(1, 2, 5)
+	if m.At(0, 0) != 1 || m.At(1, 2) != 5 {
+		t.Fatal("Set/At roundtrip failed")
+	}
+	r := m.Row(1)
+	r[0] = 7
+	if m.At(1, 0) != 7 {
+		t.Fatal("Row must be a view, not a copy")
+	}
+	c := m.Clone()
+	c.Set(0, 0, 99)
+	if m.At(0, 0) != 1 {
+		t.Fatal("Clone must not alias")
+	}
+}
+
+func TestMatrixTranspose(t *testing.T) {
+	m := NewMatrix(2, 3)
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 3; j++ {
+			m.Set(i, j, float64(i*3+j))
+		}
+	}
+	tr := m.Transpose()
+	if tr.Rows != 3 || tr.Cols != 2 {
+		t.Fatalf("transpose shape %dx%d", tr.Rows, tr.Cols)
+	}
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 3; j++ {
+			if tr.At(j, i) != m.At(i, j) {
+				t.Fatal("transpose values wrong")
+			}
+		}
+	}
+}
+
+func TestMatrixMul(t *testing.T) {
+	a := NewMatrix(2, 2)
+	a.Set(0, 0, 1)
+	a.Set(0, 1, 2)
+	a.Set(1, 0, 3)
+	a.Set(1, 1, 4)
+	b := NewMatrix(2, 2)
+	b.Set(0, 0, 5)
+	b.Set(0, 1, 6)
+	b.Set(1, 0, 7)
+	b.Set(1, 1, 8)
+	c := a.Mul(b)
+	want := [][]float64{{19, 22}, {43, 50}}
+	for i := range want {
+		for j := range want[i] {
+			if c.At(i, j) != want[i][j] {
+				t.Fatalf("Mul wrong at (%d,%d): %g", i, j, c.At(i, j))
+			}
+		}
+	}
+}
+
+func TestMatrixMulVec(t *testing.T) {
+	m := NewMatrix(2, 3)
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 3; j++ {
+			m.Set(i, j, float64(i+j))
+		}
+	}
+	got := m.MulVec([]float64{1, 2, 3})
+	// row0 = [0 1 2] . [1 2 3] = 8; row1 = [1 2 3] . [1 2 3] = 14
+	if got[0] != 8 || got[1] != 14 {
+		t.Fatalf("MulVec = %v", got)
+	}
+}
+
+func TestMatrixMulDimPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("dimension mismatch must panic")
+		}
+	}()
+	NewMatrix(2, 3).Mul(NewMatrix(2, 2))
+}
+
+func TestColumnMeansAndCovariance(t *testing.T) {
+	// Two perfectly anti-correlated columns.
+	m := NewMatrix(4, 2)
+	for i := 0; i < 4; i++ {
+		m.Set(i, 0, float64(i))
+		m.Set(i, 1, -float64(i))
+	}
+	means := m.ColumnMeans()
+	if means[0] != 1.5 || means[1] != -1.5 {
+		t.Fatalf("means = %v", means)
+	}
+	cov := m.Covariance()
+	// var of {0,1,2,3} with n-1 denominator = 5/3
+	if math.Abs(cov.At(0, 0)-5.0/3.0) > 1e-12 {
+		t.Fatalf("var = %g", cov.At(0, 0))
+	}
+	if math.Abs(cov.At(0, 1)+5.0/3.0) > 1e-12 {
+		t.Fatalf("cov = %g", cov.At(0, 1))
+	}
+	if cov.At(0, 1) != cov.At(1, 0) {
+		t.Fatal("covariance must be symmetric")
+	}
+}
+
+func TestCovarianceDegenerate(t *testing.T) {
+	cov := NewMatrix(1, 3).Covariance()
+	for _, v := range cov.Data {
+		if v != 0 {
+			t.Fatal("covariance of a single row must be zero")
+		}
+	}
+}
+
+// Covariance must be invariant under adding a constant to a column
+// (property test).
+func TestCovarianceShiftInvariant(t *testing.T) {
+	f := func(seed int64, shift float64) bool {
+		if math.IsNaN(shift) || math.IsInf(shift, 0) || math.Abs(shift) > 1e6 {
+			return true
+		}
+		rng := rand.New(rand.NewSource(seed))
+		m := NewMatrix(10, 3)
+		for i := range m.Data {
+			m.Data[i] = rng.NormFloat64()
+		}
+		shifted := m.Clone()
+		for i := 0; i < shifted.Rows; i++ {
+			shifted.Set(i, 1, shifted.At(i, 1)+shift)
+		}
+		a := m.Covariance()
+		b := shifted.Covariance()
+		for i := range a.Data {
+			if math.Abs(a.Data[i]-b.Data[i]) > 1e-8*(1+math.Abs(shift)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMaxOffDiagonal(t *testing.T) {
+	m := NewMatrix(3, 3)
+	m.Set(0, 2, -7)
+	m.Set(1, 2, 3)
+	p, q, v := m.MaxOffDiagonal()
+	if p != 0 || q != 2 || v != 7 {
+		t.Fatalf("MaxOffDiagonal = (%d,%d,%g)", p, q, v)
+	}
+}

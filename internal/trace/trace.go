@@ -1,0 +1,156 @@
+// Package trace models the measurement chain between the coil and the
+// data-analysis module: additive environment noise, oscilloscope
+// sampling, and ADC quantization. The split between "simulation mode"
+// (Section IV: white noise only) and "measurement mode" (Section V:
+// extra interference, worse for the external probe) lives in the
+// acquisition configuration.
+package trace
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+)
+
+// Trace is a sampled voltage record.
+type Trace struct {
+	Dt      float64 // sample spacing in seconds
+	Samples []float64
+}
+
+// Duration returns the trace length in seconds.
+func (t *Trace) Duration() float64 { return float64(len(t.Samples)) * t.Dt }
+
+// Clone returns a deep copy.
+func (t *Trace) Clone() *Trace {
+	s := make([]float64, len(t.Samples))
+	copy(s, t.Samples)
+	return &Trace{Dt: t.Dt, Samples: s}
+}
+
+// CSV renders the trace as "time,voltage" lines for external plotting.
+func (t *Trace) CSV() string {
+	var sb strings.Builder
+	sb.WriteString("time_s,voltage_v\n")
+	for i, v := range t.Samples {
+		fmt.Fprintf(&sb, "%.9e,%.9e\n", float64(i)*t.Dt, v)
+	}
+	return sb.String()
+}
+
+// Acquisition models one measurement channel (sensor or probe).
+type Acquisition struct {
+	// NoiseRMS is the RMS of the additive white Gaussian environment
+	// noise referred to the coil output (volts). The paper's on-chip
+	// sensor sees far less of it than the external probe.
+	NoiseRMS float64
+	// InterferenceRMS adds narrowband mains-and-lab interference, the
+	// reason the fabricated chip's external probe SNR (13.87 dB) is
+	// worse than its simulated one (17.48 dB). Zero in simulation mode.
+	InterferenceRMS float64
+	// InterferenceHz is the interference tone frequency.
+	InterferenceHz float64
+	// ADCBits and FullScale quantize the record like the oscilloscope;
+	// ADCBits <= 0 disables quantization.
+	ADCBits   int
+	FullScale float64
+	// Gain is the analog front-end gain applied before the ADC.
+	Gain float64
+}
+
+// SimulationChannel returns the Section IV acquisition: white noise only.
+func SimulationChannel(noiseRMS float64) Acquisition {
+	return Acquisition{NoiseRMS: noiseRMS, Gain: 1}
+}
+
+// MeasurementChannel returns the Section V acquisition: white noise plus
+// narrowband interference and 8-bit oscilloscope quantization.
+func MeasurementChannel(noiseRMS, interferenceRMS, fullScale float64) Acquisition {
+	return Acquisition{
+		NoiseRMS:        noiseRMS,
+		InterferenceRMS: interferenceRMS,
+		InterferenceHz:  50e3,
+		ADCBits:         8,
+		FullScale:       fullScale,
+		Gain:            1,
+	}
+}
+
+// Acquire converts a clean coil waveform into a measured trace: gain,
+// noise, interference, quantization. The rng makes captures reproducible;
+// phase of the interference tone is randomized per capture, as on a real
+// unsynchronized scope.
+func (a Acquisition) Acquire(clean []float64, dt float64, rng *rand.Rand) *Trace {
+	g := a.Gain
+	if g == 0 {
+		g = 1
+	}
+	out := make([]float64, len(clean))
+	phase := rng.Float64() * 2 * math.Pi
+	for i, v := range clean {
+		s := v * g
+		if a.NoiseRMS > 0 {
+			s += rng.NormFloat64() * a.NoiseRMS
+		}
+		if a.InterferenceRMS > 0 {
+			s += a.InterferenceRMS * math.Sqrt2 * math.Sin(2*math.Pi*a.InterferenceHz*float64(i)*dt+phase)
+		}
+		out[i] = s
+	}
+	if a.ADCBits > 0 && a.FullScale > 0 {
+		quantize(out, a.ADCBits, a.FullScale)
+	}
+	return &Trace{Dt: dt, Samples: out}
+}
+
+// AcquireNoise captures a record with no signal (the chip idling), used
+// for the separate-noise-measurement SNR protocol of Section V-A.
+func (a Acquisition) AcquireNoise(n int, dt float64, rng *rand.Rand) *Trace {
+	return a.Acquire(make([]float64, n), dt, rng)
+}
+
+// quantize rounds samples to the ADC grid and clips at full scale.
+func quantize(x []float64, bits int, fullScale float64) {
+	levels := float64(int64(1) << uint(bits))
+	step := 2 * fullScale / levels
+	for i, v := range x {
+		if v > fullScale {
+			v = fullScale
+		}
+		if v < -fullScale {
+			v = -fullScale
+		}
+		x[i] = math.Round(v/step) * step
+	}
+}
+
+// Set is a collection of traces from the same channel and workload.
+type Set struct {
+	Traces []*Trace
+}
+
+// Add appends a trace.
+func (s *Set) Add(t *Trace) { s.Traces = append(s.Traces, t) }
+
+// Len returns the number of traces.
+func (s *Set) Len() int { return len(s.Traces) }
+
+// Matrix flattens the set into rows of samples, truncating every trace
+// to the shortest length so the rows are rectangular.
+func (s *Set) Matrix() ([][]float64, error) {
+	if len(s.Traces) == 0 {
+		return nil, fmt.Errorf("trace: empty set")
+	}
+	minLen := len(s.Traces[0].Samples)
+	for _, t := range s.Traces {
+		if len(t.Samples) < minLen {
+			minLen = len(t.Samples)
+		}
+	}
+	rows := make([][]float64, len(s.Traces))
+	for i, t := range s.Traces {
+		rows[i] = t.Samples[:minLen]
+	}
+	return rows, nil
+}
