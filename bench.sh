@@ -1,0 +1,50 @@
+#!/bin/sh
+# Runs the benchmark suite and emits a machine-readable JSON summary so
+# successive PRs can track the speedup trajectory.
+#
+# Usage: ./bench.sh [output.json] [extra go-test args...]
+# Default output: BENCH_1.json. Extra args are passed to `go test`
+# (e.g. ./bench.sh out.json -bench 'SNR|Euclidean' -benchtime 2x).
+set -eu
+
+out="${1:-BENCH_1.json}"
+[ $# -gt 0 ] && shift
+
+raw="$(mktemp)"
+trap 'rm -f "$raw"' EXIT
+
+# -run '^$' skips tests; remaining args may override -bench/-benchtime.
+go test -run '^$' -bench . -benchmem "$@" . | tee "$raw"
+
+awk -v out="$out" '
+BEGIN { n = 0 }
+/^goos:/    { goos = $2 }
+/^goarch:/  { goarch = $2 }
+/^cpu:/     { sub(/^cpu: /, ""); cpu = $0 }
+/^Benchmark/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)
+    iters = $2
+    fields = ""
+    for (i = 3; i + 1 <= NF; i += 2) {
+        unit = $(i + 1)
+        gsub(/\//, "_per_", unit)
+        gsub(/[^A-Za-z0-9_.-]/, "_", unit)
+        fields = fields sprintf(",\n      \"%s\": %s", unit, $i)
+    }
+    recs[n++] = sprintf("    {\n      \"name\": \"%s\",\n      \"iterations\": %s%s\n    }", name, iters, fields)
+}
+END {
+    printf "{\n" > out
+    printf "  \"goos\": \"%s\",\n", goos >> out
+    printf "  \"goarch\": \"%s\",\n", goarch >> out
+    printf "  \"cpu\": \"%s\",\n", cpu >> out
+    printf "  \"benchmarks\": [\n" >> out
+    for (i = 0; i < n; i++) {
+        printf "%s%s\n", recs[i], (i < n - 1 ? "," : "") >> out
+    }
+    printf "  ]\n}\n" >> out
+}
+' "$raw"
+
+echo "wrote $out"

@@ -368,3 +368,51 @@ func BenchmarkVariation(b *testing.B) {
 	b.ReportMetric(goldenFA, "goldenchip-false-alarms")
 	b.ReportMetric(selfFA, "selfref-false-alarms")
 }
+
+// BenchmarkFFT measures the cached-twiddle transform on a
+// spectral-window-sized input.
+func BenchmarkFFT(b *testing.B) {
+	x := make([]float64, 4096)
+	for i := range x {
+		x[i] = math.Sin(float64(i) * 0.1)
+	}
+	var buf []complex128
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = dsp.RealFFTInto(buf, x)
+	}
+}
+
+// BenchmarkCachedCoupling measures a warm coupling-cache hit at the
+// default geometry (the cost every chip build after the first pays).
+func BenchmarkCachedCoupling(b *testing.B) {
+	cfg := chip.DefaultConfig()
+	c, err := chip.New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	fp := c.Floorplan()
+	coil := emfield.OnChipSpiral(fp.Die, cfg.SpiralTurns, cfg.SpiralZ)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := emfield.CachedCoupling(coil, fp.Grid, cfg.TileLoopArea, cfg.Quad); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCleanCapture measures one 32-cycle fixed-stimulus capture on
+// a prebuilt chip — the unit of work the capture engine shards.
+func BenchmarkCleanCapture(b *testing.B) {
+	cfg := benchConfig()
+	c, err := chip.New(cfg.Chip)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.CapturePT(cfg.Plaintext, cfg.Key, cfg.CaptureCycles); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -9,6 +9,7 @@ package chip
 import (
 	"fmt"
 	"math/rand"
+	"sync/atomic"
 
 	"emtrust/internal/aes"
 	"emtrust/internal/analog"
@@ -100,6 +101,10 @@ type Chip struct {
 	a2Enabled bool
 
 	rng *rand.Rand
+	// streams counts the per-trace seed streams handed out by NextStream.
+	// It is a shared pointer so clones and stuck-at variants draw from the
+	// same sequence as the chip they derive from.
+	streams *atomic.Uint64
 }
 
 // New builds, places and couples a chip.
@@ -136,12 +141,12 @@ func New(cfg Config) (*Chip, error) {
 		return nil, err
 	}
 	spiral := emfield.OnChipSpiral(fp.Die, cfg.SpiralTurns, cfg.SpiralZ)
-	sensor, err := emfield.NewCoupling(spiral, fp.Grid, cfg.TileLoopArea, cfg.Quad)
+	sensor, err := emfield.CachedCoupling(spiral, fp.Grid, cfg.TileLoopArea, cfg.Quad)
 	if err != nil {
 		return nil, err
 	}
 	probeCoil := emfield.ExternalProbe(fp.Die, cfg.ProbeRadius, cfg.ProbeTurns, cfg.ProbeZ, cfg.ProbePitch)
-	probe, err := emfield.NewCoupling(probeCoil, fp.Grid, cfg.TileLoopArea, cfg.Quad)
+	probe, err := emfield.CachedCoupling(probeCoil, fp.Grid, cfg.TileLoopArea, cfg.Quad)
 	if err != nil {
 		return nil, err
 	}
@@ -151,6 +156,7 @@ func New(cfg Config) (*Chip, error) {
 		sensor: sensor, probe: probe,
 		trojans: trojans,
 		rng:     rand.New(rand.NewSource(cfg.Seed)),
+		streams: new(atomic.Uint64),
 	}
 	if inst, ok := trojans[trojan.T2LeakageCurrent]; ok {
 		// The crowbar pairs sit with the rest of the T2 block; use the
@@ -193,7 +199,96 @@ func (c *Chip) Trojan(kind trojan.Kind) *trojan.Instance { return c.trojans[kind
 
 // Rand returns the chip's deterministic random stream (shared with the
 // acquisition channels so a whole experiment reproduces from one seed).
+// Loops that may be reordered or parallelized should derive a private
+// stream per trace with SplitRand instead: consuming this shared stream
+// out of order changes every later draw.
 func (c *Chip) Rand() *rand.Rand { return c.rng }
+
+// splitmix64 is the SplitMix64 finalizer: a cheap, well-mixed 64-bit
+// permutation used to derive independent sub-seeds.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// SubSeed derives a deterministic seed from (cfg.Seed, stream, index).
+// Distinct (stream, index) pairs land in unrelated points of the
+// SplitMix64 permutation, so per-trace generators are statistically
+// independent of each other and of the chip's shared stream, yet fully
+// reproducible from cfg.Seed alone.
+func (c *Chip) SubSeed(stream, index uint64) int64 {
+	h := splitmix64(uint64(c.cfg.Seed) ^ 0x6d7472757374) // "mtrust"
+	h = splitmix64(h ^ stream)
+	h = splitmix64(h ^ index)
+	return int64(h >> 1) // non-negative for rand.NewSource
+}
+
+// SplitRand returns a private generator for one trace, seeded by
+// SubSeed. Use one stream id per capture set (NextStream) and the trace
+// index within the set, so results do not depend on capture order or
+// worker count.
+func (c *Chip) SplitRand(stream, index uint64) *rand.Rand {
+	return rand.New(rand.NewSource(c.SubSeed(stream, index)))
+}
+
+// NextStream reserves the next seed-stream id. The counter is shared
+// with clones and stuck-at variants, so every capture set in an
+// experiment gets a distinct stream no matter which chip handle runs it.
+func (c *Chip) NextStream() uint64 { return c.streams.Add(1) - 1 }
+
+// Snapshot captures the chip's mutable state: simulator net values and
+// cycle counter, the analog Trojan's charge-pump state, and whether it
+// is armed. Couplings, floorplan and netlist are immutable and shared.
+type Snapshot struct {
+	sim       *logic.State
+	a2        analog.A2
+	a2Enabled bool
+}
+
+// Snapshot returns a copy of the chip's current dynamic state.
+func (c *Chip) Snapshot() *Snapshot {
+	s := &Snapshot{sim: c.sim.State(), a2Enabled: c.a2Enabled}
+	if c.a2 != nil {
+		s.a2 = *c.a2
+	}
+	return s
+}
+
+// Restore rewinds the chip to a snapshot taken on the same design. It
+// does not touch the chip's random stream: state and randomness are
+// deliberately decoupled so replayed captures can draw fresh noise.
+func (c *Chip) Restore(s *Snapshot) {
+	c.sim.SetState(s.sim)
+	if c.a2 != nil {
+		*c.a2 = s.a2
+	}
+	c.a2Enabled = s.a2Enabled
+}
+
+// Clone returns an independent chip sharing c's immutable structure
+// (netlist, floorplan, couplings, Trojan instances) with its own
+// simulator, activity recorder and analog Trojan state, all copied from
+// c's current state. A clone can capture on its own goroutine; the
+// logic.Simulator is single-goroutine, the chips' shared structures are
+// read-only. The clone's shared random stream restarts from cfg.Seed —
+// parallel capture paths must use SplitRand, not Rand.
+func (c *Chip) Clone() (*Chip, error) {
+	rec, err := power.NewRecorder(c.cfg.Power, c.fp)
+	if err != nil {
+		return nil, err
+	}
+	out := *c
+	out.sim = c.sim.Fork()
+	out.rec = rec
+	if c.a2 != nil {
+		a2 := *c.a2
+		out.a2 = &a2
+	}
+	out.rng = rand.New(rand.NewSource(c.cfg.Seed))
+	return &out, nil
+}
 
 // SetTrojan switches a digital Trojan's external trigger and advances one
 // cycle so the activation flag registers, mirroring the measurement
@@ -431,9 +526,19 @@ func MeasurementChannels() Channels {
 	return Channels{Sensor: s, Probe: p}
 }
 
-// Acquire converts a clean capture into measured traces on both channels.
+// Acquire converts a clean capture into measured traces on both channels,
+// drawing noise from the chip's shared random stream. Order-sensitive:
+// prefer Channels.Acquire with a SplitRand generator in loops that may be
+// reordered or parallelized.
 func (c *Chip) Acquire(cap *Capture, ch Channels) (sensor, probe *trace.Trace) {
-	sensor = ch.Sensor.Acquire(cap.Sensor, cap.Dt, c.rng)
-	probe = ch.Probe.Acquire(cap.Probe, cap.Dt, c.rng)
+	return ch.Acquire(cap, c.rng)
+}
+
+// Acquire converts a clean capture into measured traces on both channels
+// using the given generator (sensor noise first, then probe noise — the
+// draw order is part of the reproducibility contract).
+func (ch Channels) Acquire(cap *Capture, rng *rand.Rand) (sensor, probe *trace.Trace) {
+	sensor = ch.Sensor.Acquire(cap.Sensor, cap.Dt, rng)
+	probe = ch.Probe.Acquire(cap.Probe, cap.Dt, rng)
 	return sensor, probe
 }

@@ -336,3 +336,42 @@ func TestQuickMedian(t *testing.T) {
 		t.Fatalf("median = %g", median(x))
 	}
 }
+
+func TestMonitorPoolPreservesOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	golden := goldenSet(rng, 20, 1024)
+	fp, err := BuildFingerprint(golden, DefaultFingerprintConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sd, err := BuildSpectralDetector(golden, DefaultSpectralConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 4} {
+		m, err := NewMonitorPool(fp, sd, 4, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		const n = 32
+		go func() {
+			for i := 0; i < n; i++ {
+				m.Submit(synthTrace(rng, 1024, 0))
+			}
+			m.Close()
+		}()
+		want := 0
+		for v := range m.Verdicts() {
+			if v.Seq != want {
+				t.Fatalf("workers=%d: verdict %d arrived out of order (want %d)", workers, v.Seq, want)
+			}
+			want++
+		}
+		if want != n {
+			t.Fatalf("workers=%d: got %d verdicts, want %d", workers, want, n)
+		}
+		if total, _ := m.Stats(); total != n {
+			t.Fatalf("workers=%d: stats total %d, want %d", workers, total, n)
+		}
+	}
+}

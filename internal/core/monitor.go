@@ -30,7 +30,9 @@ func (v Verdict) String() string {
 // Monitor is the runtime trust evaluation loop of Figure 1: traces from
 // the on-chip sensor stream in, verdicts stream out, and the analysis
 // runs in parallel with the circuit's normal execution (no performance
-// degradation on the monitored chip).
+// degradation on the monitored chip). With more than one worker the
+// evaluations themselves run concurrently — both detectors are read-only
+// after fitting — while verdicts are still emitted in submission order.
 type Monitor struct {
 	fp *Fingerprint
 	sd *SpectralDetector
@@ -38,7 +40,6 @@ type Monitor struct {
 	in      chan *trace.Trace
 	out     chan Verdict
 	wg      sync.WaitGroup
-	seq     int
 	history struct {
 		sync.Mutex
 		alarms int
@@ -46,14 +47,33 @@ type Monitor struct {
 	}
 }
 
-// NewMonitor builds a runtime monitor from fitted detectors. Either
-// detector may be nil to run the other alone.
+// job carries one submitted trace through the pool; done delivers its
+// verdict to the in-order emitter.
+type job struct {
+	seq  int
+	t    *trace.Trace
+	done chan Verdict
+}
+
+// NewMonitor builds a single-worker runtime monitor from fitted
+// detectors. Either detector may be nil to run the other alone.
 func NewMonitor(fp *Fingerprint, sd *SpectralDetector, buffer int) (*Monitor, error) {
+	return NewMonitorPool(fp, sd, buffer, 1)
+}
+
+// NewMonitorPool is NewMonitor with a worker pool of the given size
+// evaluating traces concurrently. Verdict order matches submission
+// order regardless of worker count; workers <= 1 degrades to the serial
+// monitor.
+func NewMonitorPool(fp *Fingerprint, sd *SpectralDetector, buffer, workers int) (*Monitor, error) {
 	if fp == nil && sd == nil {
 		return nil, fmt.Errorf("core: monitor needs at least one detector")
 	}
 	if buffer < 0 {
 		buffer = 0
+	}
+	if workers < 1 {
+		workers = 1
 	}
 	m := &Monitor{
 		fp:  fp,
@@ -61,31 +81,65 @@ func NewMonitor(fp *Fingerprint, sd *SpectralDetector, buffer int) (*Monitor, er
 		in:  make(chan *trace.Trace, buffer),
 		out: make(chan Verdict, buffer),
 	}
+
+	// Dispatcher: stamps sequence numbers and registers each job with the
+	// emitter (pending preserves submission order). Workers: evaluate in
+	// any order, delivering on the job's private channel. Emitter: drains
+	// pending in order, so out-of-order completions wait their turn.
+	jobs := make(chan job, workers)
+	pending := make(chan job, buffer+workers)
 	m.wg.Add(1)
-	go m.loop()
+	go func() { // dispatcher
+		defer m.wg.Done()
+		seq := 0
+		for t := range m.in {
+			j := job{seq: seq, t: t, done: make(chan Verdict, 1)}
+			seq++
+			pending <- j
+			jobs <- j
+		}
+		close(jobs)
+		close(pending)
+	}()
+	var workersWG sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		workersWG.Add(1)
+		go func() {
+			defer workersWG.Done()
+			for j := range jobs {
+				j.done <- m.evaluate(j.seq, j.t)
+			}
+		}()
+	}
+	m.wg.Add(1)
+	go func() { // emitter
+		defer m.wg.Done()
+		defer close(m.out)
+		for j := range pending {
+			v := <-j.done
+			m.history.Lock()
+			m.history.total++
+			if v.Alarm() {
+				m.history.alarms++
+			}
+			m.history.Unlock()
+			m.out <- v
+		}
+		workersWG.Wait()
+	}()
 	return m, nil
 }
 
-func (m *Monitor) loop() {
-	defer m.wg.Done()
-	defer close(m.out)
-	for t := range m.in {
-		v := Verdict{Seq: m.seq}
-		m.seq++
-		if m.fp != nil {
-			v.Time = m.fp.Evaluate(t)
-		}
-		if m.sd != nil {
-			v.Spectral = m.sd.Evaluate(t)
-		}
-		m.history.Lock()
-		m.history.total++
-		if v.Alarm() {
-			m.history.alarms++
-		}
-		m.history.Unlock()
-		m.out <- v
+// evaluate runs both detectors on one trace.
+func (m *Monitor) evaluate(seq int, t *trace.Trace) Verdict {
+	v := Verdict{Seq: seq}
+	if m.fp != nil {
+		v.Time = m.fp.Evaluate(t)
 	}
+	if m.sd != nil {
+		v.Spectral = m.sd.Evaluate(t)
+	}
+	return v
 }
 
 // Submit queues a trace for evaluation. It blocks when the buffer is

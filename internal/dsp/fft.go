@@ -9,7 +9,28 @@ import (
 	"math"
 	"math/bits"
 	"math/cmplx"
+	"sync"
 )
+
+// twiddleCache memoizes the forward roots of unity per transform length:
+// tw[k] = e^{-2*pi*i*k/n} for k < n/2. Each butterfly stage of size s
+// reads the same table with stride n/s, so one table serves the whole
+// transform, and the direct Cos/Sin evaluation is more accurate than the
+// cumulative w *= wStep product the loop used before.
+var twiddleCache sync.Map // int -> []complex128
+
+func twiddles(n int) []complex128 {
+	if v, ok := twiddleCache.Load(n); ok {
+		return v.([]complex128)
+	}
+	tw := make([]complex128, n/2)
+	for k := range tw {
+		th := -2 * math.Pi * float64(k) / float64(n)
+		tw[k] = complex(math.Cos(th), math.Sin(th))
+	}
+	v, _ := twiddleCache.LoadOrStore(n, tw)
+	return v.([]complex128)
+}
 
 // NextPow2 returns the smallest power of two that is >= n. It returns 1 for
 // n <= 1.
@@ -56,23 +77,21 @@ func fftDir(x []complex128, inverse bool) {
 			x[i], x[j] = x[j], x[i]
 		}
 	}
-	// Danielson-Lanczos butterflies.
-	sign := -1.0
-	if inverse {
-		sign = 1.0
-	}
+	// Danielson-Lanczos butterflies over the cached twiddle table.
+	tw := twiddles(n)
 	for size := 2; size <= n; size <<= 1 {
 		half := size / 2
-		step := sign * 2 * math.Pi / float64(size)
-		wStep := cmplx.Exp(complex(0, step))
+		stride := n / size
 		for start := 0; start < n; start += size {
-			w := complex(1, 0)
 			for k := 0; k < half; k++ {
+				w := tw[k*stride]
+				if inverse {
+					w = complex(real(w), -imag(w))
+				}
 				a := x[start+k]
 				b := x[start+k+half] * w
 				x[start+k] = a + b
 				x[start+k+half] = a - b
-				w *= wStep
 			}
 		}
 	}
@@ -101,10 +120,28 @@ func ToComplex(x []float64) []complex128 {
 // RealFFT computes the FFT of a real signal, zero-padding it to a power of
 // two. It returns the complex spectrum of length NextPow2(len(x)).
 func RealFFT(x []float64) []complex128 {
-	padded := PadPow2(x)
-	c := ToComplex(padded)
-	FFT(c)
-	return c
+	return RealFFTInto(nil, x)
+}
+
+// RealFFTInto is RealFFT writing into dst, which is grown only when its
+// capacity is below NextPow2(len(x)); it returns the slice holding the
+// spectrum. Hot loops reuse one scratch buffer across calls instead of
+// allocating pad + complex copies per transform.
+func RealFFTInto(dst []complex128, x []float64) []complex128 {
+	n := NextPow2(len(x))
+	if cap(dst) >= n {
+		dst = dst[:n]
+	} else {
+		dst = make([]complex128, n)
+	}
+	for i, v := range x {
+		dst[i] = complex(v, 0)
+	}
+	for i := len(x); i < n; i++ {
+		dst[i] = 0
+	}
+	FFT(dst)
+	return dst
 }
 
 // Magnitudes returns the magnitude of each bin of the spectrum.

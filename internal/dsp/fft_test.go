@@ -193,3 +193,83 @@ func TestBinFrequency(t *testing.T) {
 		t.Fatalf("FrequencyBin clamp high = %d, want 512", k)
 	}
 }
+
+// naiveDFT is the O(n^2) textbook transform the FFT must match.
+func naiveDFT(x []complex128) []complex128 {
+	n := len(x)
+	out := make([]complex128, n)
+	for k := 0; k < n; k++ {
+		var sum complex128
+		for j := 0; j < n; j++ {
+			th := -2 * math.Pi * float64(k) * float64(j) / float64(n)
+			sum += x[j] * cmplx.Exp(complex(0, th))
+		}
+		out[k] = sum
+	}
+	return out
+}
+
+// The cached-twiddle FFT must match the naive transform to 1e-12 on
+// random inputs across sizes.
+func TestFFTMatchesNaiveDFT(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, n := range []int{2, 4, 16, 64, 256} {
+		x := make([]complex128, n)
+		for i := range x {
+			x[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+		}
+		want := naiveDFT(x)
+		got := make([]complex128, n)
+		copy(got, x)
+		FFT(got)
+		for k := range want {
+			if cmplx.Abs(got[k]-want[k]) > 1e-12*(1+cmplx.Abs(want[k])) {
+				t.Fatalf("n=%d bin %d: FFT %v, naive %v", n, k, got[k], want[k])
+			}
+		}
+	}
+}
+
+func TestIFFTRoundTripLarge(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	for _, n := range []int{512, 2048} {
+		x := make([]complex128, n)
+		for i := range x {
+			x[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+		}
+		y := make([]complex128, n)
+		copy(y, x)
+		FFT(y)
+		IFFT(y)
+		for i := range x {
+			if cmplx.Abs(y[i]-x[i]) > 1e-10 {
+				t.Fatalf("n=%d sample %d: roundtrip %v != %v", n, i, y[i], x[i])
+			}
+		}
+	}
+}
+
+func TestRealFFTIntoReusesBuffer(t *testing.T) {
+	x := []float64{1, 2, 3, 4, 5}
+	want := RealFFT(x)
+	buf := make([]complex128, 16)
+	got := RealFFTInto(buf, x)
+	if len(got) != len(want) {
+		t.Fatalf("length %d, want %d", len(got), len(want))
+	}
+	if &got[0] != &buf[0] {
+		t.Error("RealFFTInto allocated despite sufficient capacity")
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("bin %d: %v != %v", i, got[i], want[i])
+		}
+	}
+	// Dirty reuse must give the same answer.
+	got2 := RealFFTInto(got, x)
+	for i := range want {
+		if got2[i] != want[i] {
+			t.Fatalf("reused bin %d: %v != %v", i, got2[i], want[i])
+		}
+	}
+}

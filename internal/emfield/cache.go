@@ -1,0 +1,83 @@
+package emfield
+
+import (
+	"encoding/binary"
+	"math"
+	"strings"
+	"sync"
+
+	"emtrust/internal/layout"
+)
+
+// couplingCache memoizes NewCoupling results process-wide. Golden,
+// infected and stuck-at chip variants share floorplans, so the expensive
+// boundary-integral precompute (the dominant cost of a chip build at the
+// default quadrature resolution) runs once per distinct geometry.
+var couplingCache sync.Map // string -> *couplingEntry
+
+type couplingEntry struct {
+	once sync.Once
+	cp   *Coupling
+	err  error
+}
+
+// couplingKey serializes everything NewCoupling's result depends on: the
+// tile-center geometry (grid dimensions and die size — TileCenter is a
+// pure function of those), the effective loop area, the quadrature
+// resolution, and every loop's concrete type and parameters. It returns
+// "" when a loop type is unknown, which makes the caller bypass the
+// cache rather than risk aliasing distinct geometries.
+func couplingKey(c *Coil, grid *layout.TileGrid, aeff float64, quad int) string {
+	var b strings.Builder
+	b.Grow(64 + 32*len(c.Loops))
+	putU := func(v uint64) {
+		var buf [8]byte
+		binary.LittleEndian.PutUint64(buf[:], v)
+		b.Write(buf[:])
+	}
+	putF := func(v float64) { putU(math.Float64bits(v)) }
+	putU(uint64(grid.NX))
+	putU(uint64(grid.NY))
+	putF(grid.Die.X)
+	putF(grid.Die.Y)
+	putF(aeff)
+	putU(uint64(int64(quad)))
+	for _, l := range c.Loops {
+		switch l := l.(type) {
+		case RectLoop:
+			b.WriteByte('R')
+			putF(l.CX)
+			putF(l.CY)
+			putF(l.W)
+			putF(l.H)
+			putF(l.Z)
+		case CircleLoop:
+			b.WriteByte('C')
+			putF(l.CX)
+			putF(l.CY)
+			putF(l.R)
+			putF(l.Z)
+		default:
+			return ""
+		}
+	}
+	return b.String()
+}
+
+// CachedCoupling is NewCoupling behind the process-wide memo. Concurrent
+// callers with the same geometry block on one computation and share the
+// resulting *Coupling, which is safe because Coupling is read-only after
+// construction. Coils with loop types the key cannot describe fall back
+// to an uncached NewCoupling call.
+func CachedCoupling(c *Coil, grid *layout.TileGrid, aeff float64, quad int) (*Coupling, error) {
+	key := couplingKey(c, grid, aeff, quad)
+	if key == "" {
+		return NewCoupling(c, grid, aeff, quad)
+	}
+	v, _ := couplingCache.LoadOrStore(key, &couplingEntry{})
+	e := v.(*couplingEntry)
+	e.once.Do(func() {
+		e.cp, e.err = NewCoupling(c, grid, aeff, quad)
+	})
+	return e.cp, e.err
+}

@@ -16,6 +16,7 @@ import (
 	"math"
 
 	"emtrust/internal/layout"
+	"emtrust/internal/parallel"
 )
 
 // Mu0 is the vacuum permeability in H/m.
@@ -311,7 +312,9 @@ func NewCoupling(c *Coil, grid *layout.TileGrid, aeff float64, quad int) (*Coupl
 		return nil, fmt.Errorf("emfield: effective tile loop area must be positive, got %g", aeff)
 	}
 	cp := &Coupling{Coil: c, M: make([]float64, grid.NumTiles())}
-	for t := 0; t < grid.NumTiles(); t++ {
+	// Tiles are independent quadrature problems; each writes only its own
+	// M entry, so the fan-out is deterministic regardless of schedule.
+	err := parallel.For(grid.NumTiles(), func(t int) error {
 		pos := grid.TileCenter(t)
 		src := Vec3{pos.X, pos.Y, 0}
 		flux := 0.0
@@ -320,6 +323,10 @@ func NewCoupling(c *Coil, grid *layout.TileGrid, aeff float64, quad int) (*Coupl
 		}
 		// Dipole moment per ampere is aeff, so M = flux * aeff.
 		cp.M[t] = flux * aeff
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return cp, nil
 }
@@ -328,32 +335,54 @@ func NewCoupling(c *Coil, grid *layout.TileGrid, aeff float64, quad int) (*Coupl
 // waveforms: emf(t) = -sum_tile M[tile] * dI_tile/dt. currents is indexed
 // [tile][sample]; dt is the sample spacing in seconds.
 func (cp *Coupling) EMF(currents [][]float64, dt float64) []float64 {
+	return cp.EMFInto(nil, currents, dt)
+}
+
+// EMFInto is EMF writing into dst, which is grown only when its capacity
+// is insufficient; it returns the slice holding the result. Tiles with
+// zero coupling or zero-length waveforms are skipped, and waveforms
+// longer than the first tile's are clamped rather than read out of
+// bounds.
+func (cp *Coupling) EMFInto(dst []float64, currents [][]float64, dt float64) []float64 {
 	if len(currents) != len(cp.M) {
 		panic(fmt.Sprintf("emfield: %d tile waveforms for %d couplings", len(currents), len(cp.M)))
 	}
 	if len(currents) == 0 {
-		return nil
+		return dst[:0]
 	}
 	n := len(currents[0])
+	if cap(dst) >= n {
+		dst = dst[:n]
+	} else {
+		dst = make([]float64, n)
+	}
 	// First accumulate the flux waveform, then differentiate once:
 	// algebraically identical to summing per-tile derivatives but one
 	// pass and numerically steadier.
-	flux := make([]float64, n)
+	for i := range dst {
+		dst[i] = 0
+	}
 	for t, w := range currents {
 		m := cp.M[t]
-		if m == 0 {
+		if m == 0 || len(w) == 0 {
 			continue
 		}
+		if len(w) > n {
+			w = w[:n]
+		}
 		for i, v := range w {
-			flux[i] += m * v
+			dst[i] += m * v
 		}
 	}
-	emf := make([]float64, n)
-	for i := 1; i < n; i++ {
-		emf[i] = -(flux[i] - flux[i-1]) / dt
+	// In-place backward differentiation: index i needs flux[i] and
+	// flux[i-1], both still intact when walking from the top down.
+	for i := n - 1; i >= 1; i-- {
+		dst[i] = -(dst[i] - dst[i-1]) / dt
 	}
 	if n > 1 {
-		emf[0] = emf[1]
+		dst[0] = dst[1]
+	} else {
+		dst[0] = 0
 	}
-	return emf
+	return dst
 }

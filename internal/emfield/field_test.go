@@ -358,3 +358,105 @@ func TestQuadrantCouplingIsLocal(t *testing.T) {
 		}
 	}
 }
+
+func TestEMFIntoMatchesEMF(t *testing.T) {
+	grid := buildGrid()
+	coil := OnChipSpiral(grid.Die, 4, 5e-6)
+	cp, err := NewCoupling(coil, grid, 25e-12, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	currents := make([][]float64, grid.NumTiles())
+	for i := range currents {
+		currents[i] = make([]float64, 32)
+		for s := range currents[i] {
+			currents[i][s] = float64(i*s%7) * 1e-3
+		}
+	}
+	want := cp.EMF(currents, 1e-9)
+	buf := make([]float64, 64)
+	got := cp.EMFInto(buf, currents, 1e-9)
+	if &got[0] != &buf[0] {
+		t.Error("EMFInto allocated despite sufficient capacity")
+	}
+	if len(got) != len(want) {
+		t.Fatalf("length %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("sample %d: %v != %v", i, got[i], want[i])
+		}
+	}
+	// Dirty reuse must not leak previous contents.
+	got2 := cp.EMFInto(got, currents, 1e-9)
+	for i := range want {
+		if got2[i] != want[i] {
+			t.Fatalf("reused sample %d: %v != %v", i, got2[i], want[i])
+		}
+	}
+}
+
+func TestEMFIntoSkipsShortWaveforms(t *testing.T) {
+	grid := buildGrid()
+	coil := OnChipSpiral(grid.Die, 2, 5e-6)
+	cp, err := NewCoupling(coil, grid, 25e-12, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	currents := make([][]float64, grid.NumTiles())
+	currents[0] = make([]float64, 8)
+	for s := range currents[0] {
+		currents[0][s] = 1e-3 * float64(s)
+	}
+	// Tile 1 has an empty waveform, tile 2 a longer-than-first one:
+	// neither may panic; the long one is clamped.
+	currents[1] = nil
+	currents[2] = make([]float64, 20)
+	for i := 3; i < len(currents); i++ {
+		currents[i] = make([]float64, 8)
+	}
+	out := cp.EMF(currents, 1e-9)
+	if len(out) != 8 {
+		t.Fatalf("got %d samples, want 8", len(out))
+	}
+}
+
+func TestCachedCouplingMemoizes(t *testing.T) {
+	grid := buildGrid()
+	coil := OnChipSpiral(grid.Die, 3, 5e-6)
+	a, err := CachedCoupling(coil, grid, 25e-12, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := CachedCoupling(OnChipSpiral(grid.Die, 3, 5e-6), grid, 25e-12, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("identical geometry did not hit the cache")
+	}
+	fresh, err := NewCoupling(coil, grid, 25e-12, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range fresh.M {
+		if a.M[i] != fresh.M[i] {
+			t.Fatalf("tile %d: cached M %v != fresh %v", i, a.M[i], fresh.M[i])
+		}
+	}
+	// Different geometry must miss.
+	c, err := CachedCoupling(OnChipSpiral(grid.Die, 4, 5e-6), grid, 25e-12, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c == a {
+		t.Error("different turn count aliased the same cache entry")
+	}
+	d, err := CachedCoupling(coil, grid, 25e-12, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d == a {
+		t.Error("different quad resolution aliased the same cache entry")
+	}
+}

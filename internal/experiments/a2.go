@@ -47,10 +47,11 @@ func A2Spectrum(cfg Config) (*A2SpectrumResult, error) {
 
 	// Golden envelope: several dormant captures.
 	c.EnableA2(false)
-	gTraces, err := idleTraces(c, ch, cfg.GoldenTraces/8+4, cycles)
+	gSet, err := idleTraces(c, ch, cfg.GoldenTraces/8+4, cycles)
 	if err != nil {
 		return nil, err
 	}
+	gTraces := gSet.Sensor.Traces
 	sd, err := core.BuildSpectralDetector(gTraces, cfg.Spectral)
 	if err != nil {
 		return nil, err
@@ -66,11 +67,11 @@ func A2Spectrum(cfg Config) (*A2SpectrumResult, error) {
 	if !c.A2().Firing() {
 		return nil, fmt.Errorf("experiments: A2 failed to trigger after %d cycles", 2*cycles)
 	}
-	onTraces, err := idleTraces(c, ch, 1, cycles)
+	onSet, err := idleTraces(c, ch, 1, cycles)
 	if err != nil {
 		return nil, err
 	}
-	onTrace := onTraces[0]
+	onTrace := onSet.Sensor.Traces[0]
 	onSpec := dsp.NewSpectrum(onTrace.Samples, onTrace.Dt, cfg.Spectral.Window)
 
 	clock := cfg.Chip.Power.ClockHz

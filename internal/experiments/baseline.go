@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"math/rand"
 	"strings"
 
 	"emtrust/internal/baseline"
@@ -45,7 +46,6 @@ func Coverage(cfg Config) (*CoverageResult, error) {
 		return nil, err
 	}
 	ch := chip.SimulationChannels()
-	rng := c.Rand()
 	ronWindow := cfg.SpectralCycles
 	ronTrials := cfg.TestTraces / 6
 	if ronTrials < 4 {
@@ -53,25 +53,24 @@ func Coverage(cfg Config) (*CoverageResult, error) {
 	}
 
 	// Golden views: EM per encryption trace, RON per long window.
-	var goldenEM []*trace.Trace
-	for i := 0; i < cfg.GoldenTraces; i++ {
-		cap, err := c.CapturePT(cfg.Plaintext, cfg.Key, cfg.CaptureCycles)
-		if err != nil {
-			return nil, err
-		}
-		s, _ := c.Acquire(cap, ch)
-		goldenEM = append(goldenEM, s)
+	goldenSet, err := captureSet(c, cfg, ch, cfg.GoldenTraces, cfg.CaptureCycles)
+	if err != nil {
+		return nil, err
 	}
-	var goldenRON [][]float64
-	var goldenIdleEM []*trace.Trace
-	for i := 0; i < ronTrials+4; i++ {
-		cap, err := c.CaptureIdle(ronWindow)
-		if err != nil {
-			return nil, err
-		}
-		goldenRON = append(goldenRON, ron.Measure(cap.Tiles, cap.Dt, rng))
-		s, _ := c.Acquire(cap, ch)
-		goldenIdleEM = append(goldenIdleEM, s)
+	goldenEM := goldenSet.Sensor.Traces
+	nIdle := ronTrials + 4
+	goldenRON := make([][]float64, nIdle)
+	goldenIdleEM := make([]*trace.Trace, nIdle)
+	err = replicate(c, nIdle,
+		func(w *chip.Chip) (*chip.Capture, error) { return w.CaptureIdle(ronWindow) },
+		func(i int, cap *chip.Capture, rng *rand.Rand) error {
+			// Draw order per trace: RON jitter first, then EM noise.
+			goldenRON[i] = ron.Measure(cap.Tiles, cap.Dt, rng)
+			goldenIdleEM[i], _ = ch.Acquire(cap, rng)
+			return nil
+		})
+	if err != nil {
+		return nil, err
 	}
 	fp, err := core.BuildFingerprint(goldenEM, cfg.Fingerprint)
 	if err != nil {
@@ -93,28 +92,35 @@ func Coverage(cfg Config) (*CoverageResult, error) {
 		if err := c.SetTrojan(k, true); err != nil {
 			return nil, err
 		}
+		activeSet, err := captureSet(c, cfg, ch, cfg.TestTraces, cfg.CaptureCycles)
+		if err != nil {
+			return nil, err
+		}
 		emHits, ronHits := 0, 0
-		for i := 0; i < cfg.TestTraces; i++ {
-			cap, err := c.CapturePT(cfg.Plaintext, cfg.Key, cfg.CaptureCycles)
-			if err != nil {
-				return nil, err
-			}
-			s, _ := c.Acquire(cap, ch)
+		for _, s := range activeSet.Sensor.Traces {
 			if fp.Evaluate(s).Alarm {
 				emHits++
 			}
 		}
 		emSpectralHits := 0
+		ronAlarm := make([]bool, ronTrials)
+		spectralAlarm := make([]bool, ronTrials)
+		err = replicate(c, ronTrials,
+			func(w *chip.Chip) (*chip.Capture, error) { return w.CaptureIdle(ronWindow) },
+			func(i int, cap *chip.Capture, rng *rand.Rand) error {
+				_, ronAlarm[i] = ronDet.Evaluate(ron.Measure(cap.Tiles, cap.Dt, rng))
+				s, _ := ch.Acquire(cap, rng)
+				spectralAlarm[i] = sd.Evaluate(s).Alarm
+				return nil
+			})
+		if err != nil {
+			return nil, err
+		}
 		for i := 0; i < ronTrials; i++ {
-			cap, err := c.CaptureIdle(ronWindow)
-			if err != nil {
-				return nil, err
-			}
-			if _, alarm := ronDet.Evaluate(ron.Measure(cap.Tiles, cap.Dt, rng)); alarm {
+			if ronAlarm[i] {
 				ronHits++
 			}
-			s, _ := c.Acquire(cap, ch)
-			if sd.Evaluate(s).Alarm {
+			if spectralAlarm[i] {
 				emSpectralHits++
 			}
 		}
@@ -157,24 +163,24 @@ func coverageA2(cfg Config) (CoverageRow, error) {
 	}
 	ch := chip.SimulationChannels()
 	cycles := cfg.SpectralCycles
-	rng := c.Rand()
 	c.EnableA2(false)
-	var goldenEM []*trace.Trace
-	var goldenRON [][]float64
 	n := cfg.GoldenTraces/8 + 4
+	goldenEM := make([]*trace.Trace, n)
+	goldenRON := make([][]float64, n)
 	// A fresh RON on this chip's floorplan (same geometry class).
 	ron2, err := baseline.NewRON(c.Floorplan(), baseline.DefaultRONConfig())
 	if err != nil {
 		return CoverageRow{}, err
 	}
-	for i := 0; i < n; i++ {
-		cap, err := c.CaptureIdle(cycles)
-		if err != nil {
-			return CoverageRow{}, err
-		}
-		goldenRON = append(goldenRON, ron2.Measure(cap.Tiles, cap.Dt, rng))
-		s, _ := c.Acquire(cap, ch)
-		goldenEM = append(goldenEM, s)
+	err = replicate(c, n,
+		func(w *chip.Chip) (*chip.Capture, error) { return w.CaptureIdle(cycles) },
+		func(i int, cap *chip.Capture, rng *rand.Rand) error {
+			goldenRON[i] = ron2.Measure(cap.Tiles, cap.Dt, rng)
+			goldenEM[i], _ = ch.Acquire(cap, rng)
+			return nil
+		})
+	if err != nil {
+		return CoverageRow{}, err
 	}
 	sd, err := core.BuildSpectralDetector(goldenEM, cfg.Spectral)
 	if err != nil {
@@ -193,17 +199,25 @@ func coverageA2(cfg Config) (CoverageRow, error) {
 	if trials < 3 {
 		trials = 3
 	}
+	ronAlarm := make([]bool, trials)
+	emAlarm := make([]bool, trials)
+	err = replicate(c, trials,
+		func(w *chip.Chip) (*chip.Capture, error) { return w.CaptureIdle(cycles) },
+		func(i int, cap *chip.Capture, rng *rand.Rand) error {
+			_, ronAlarm[i] = ronDet2.Evaluate(ron2.Measure(cap.Tiles, cap.Dt, rng))
+			s, _ := ch.Acquire(cap, rng)
+			emAlarm[i] = sd.Evaluate(s).Alarm
+			return nil
+		})
+	if err != nil {
+		return CoverageRow{}, err
+	}
 	emHits, ronHits := 0, 0
 	for i := 0; i < trials; i++ {
-		cap, err := c.CaptureIdle(cycles)
-		if err != nil {
-			return CoverageRow{}, err
-		}
-		if _, alarm := ronDet2.Evaluate(ron2.Measure(cap.Tiles, cap.Dt, rng)); alarm {
+		if ronAlarm[i] {
 			ronHits++
 		}
-		s, _ := c.Acquire(cap, ch)
-		if sd.Evaluate(s).Alarm {
+		if emAlarm[i] {
 			emHits++
 		}
 	}

@@ -1,0 +1,109 @@
+package experiments
+
+import (
+	"testing"
+
+	"emtrust/internal/chip"
+	"emtrust/internal/parallel"
+	"emtrust/internal/trace"
+)
+
+// The capture engine's core guarantee: per-trace seeds are derived from
+// (cfg.Seed, stream, index), never consumed from a shared stream, so a
+// set captured with 1, 2 or 8 workers is bit-identical sample for
+// sample. Each worker count gets a freshly built chip so stream ids and
+// simulator state line up exactly.
+
+func captureAllSets(t *testing.T, cfg Config) (*dualSet, *dualSet, *dualSet) {
+	t.Helper()
+	c, err := infectedChip(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch := chip.SimulationChannels()
+	fixed, err := captureSet(c, cfg, ch, 12, cfg.CaptureCycles)
+	if err != nil {
+		t.Fatal(err)
+	}
+	random, err := captureRandomSet(c, cfg.Key, ch, 12, cfg.CaptureCycles)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idle, err := idleTraces(c, ch, 12, cfg.CaptureCycles)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fixed, random, idle
+}
+
+func assertSetsEqual(t *testing.T, label string, workers int, want, got *dualSet) {
+	t.Helper()
+	assertTracesEqual(t, label+"/sensor", workers, want.Sensor.Traces, got.Sensor.Traces)
+	assertTracesEqual(t, label+"/probe", workers, want.Probe.Traces, got.Probe.Traces)
+}
+
+func assertTracesEqual(t *testing.T, label string, workers int, want, got []*trace.Trace) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Fatalf("%s workers=%d: %d traces vs %d", label, workers, len(got), len(want))
+	}
+	for i := range want {
+		a, b := want[i].Samples, got[i].Samples
+		if len(a) != len(b) {
+			t.Fatalf("%s workers=%d trace %d: %d samples vs %d", label, workers, i, len(b), len(a))
+		}
+		for s := range a {
+			if a[s] != b[s] {
+				t.Fatalf("%s workers=%d trace %d sample %d: %v != %v (parallel output must be bit-identical to serial)",
+					label, workers, i, s, b[s], a[s])
+			}
+		}
+	}
+}
+
+func TestCaptureSetsDeterministicAcrossWorkerCounts(t *testing.T) {
+	cfg := testConfig()
+
+	restore := parallel.SetMaxWorkers(1)
+	serialFixed, serialRandom, serialIdle := captureAllSets(t, cfg)
+	restore()
+
+	for _, workers := range []int{2, 8} {
+		restore := parallel.SetMaxWorkers(workers)
+		fixed, random, idle := captureAllSets(t, cfg)
+		restore()
+		assertSetsEqual(t, "fixed", workers, serialFixed, fixed)
+		assertSetsEqual(t, "random", workers, serialRandom, random)
+		assertSetsEqual(t, "idle", workers, serialIdle, idle)
+	}
+}
+
+// A full experiment driver must be worker-count independent too — this
+// catches any leftover shared-stream consumption in the rewired paths.
+func TestExperimentDeterministicAcrossWorkerCounts(t *testing.T) {
+	cfg := testConfig()
+
+	run := func(workers int) *EuclideanResult {
+		restore := parallel.SetMaxWorkers(workers)
+		defer restore()
+		res, err := EuclideanSimulation(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	serial := run(1)
+	for _, workers := range []int{2, 8} {
+		res := run(workers)
+		if res.GoldenMeanDistance != serial.GoldenMeanDistance {
+			t.Errorf("workers=%d: golden mean %v != serial %v", workers, res.GoldenMeanDistance, serial.GoldenMeanDistance)
+		}
+		for i, row := range res.Rows {
+			want := serial.Rows[i]
+			if row.MeanDistance != want.MeanDistance || row.DetectionRate != want.DetectionRate {
+				t.Errorf("workers=%d %v: (%v, %v) != serial (%v, %v)",
+					workers, row.Trojan, row.MeanDistance, row.DetectionRate, want.MeanDistance, want.DetectionRate)
+			}
+		}
+	}
+}

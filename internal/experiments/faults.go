@@ -10,6 +10,7 @@ import (
 	"emtrust/internal/chip"
 	"emtrust/internal/core"
 	"emtrust/internal/netlist"
+	"emtrust/internal/parallel"
 )
 
 // FaultsResult evaluates the framework against plain defects: random
@@ -69,34 +70,53 @@ func Faults(cfg Config) (*FaultsResult, error) {
 	}
 	trials := 5
 
-	res := &FaultsResult{Faults: faults}
-	for f := 0; f < faults; f++ {
-		net := sites[rng.Intn(len(sites))]
-		value := rng.Intn(2) == 1
-		faulty, err := healthy.WithStuckAt(net, value)
+	// Draw the fault sites serially so the site sequence matches the old
+	// shared-stream behavior, then evaluate the faults in parallel: each
+	// fault builds its own stuck-at chip, captures the fixed stimulus
+	// once, and replays the acquisition per trial with a derived stream.
+	type faultCase struct {
+		net   netlist.Net
+		value bool
+	}
+	cases := make([]faultCase, faults)
+	for f := range cases {
+		cases[f] = faultCase{net: sites[rng.Intn(len(sites))], value: rng.Intn(2) == 1}
+	}
+	stream := healthy.NextStream()
+	emVisible := make([]bool, faults)
+	funcVisible := make([]bool, faults)
+	err = parallel.For(faults, func(f int) error {
+		faulty, err := healthy.WithStuckAt(cases[f].net, cases[f].value)
 		if err != nil {
-			return nil, err
+			return err
 		}
+		cap, err := faulty.CapturePT(cfg.Plaintext, cfg.Key, cfg.CaptureCycles)
+		if err != nil {
+			return err
+		}
+		ct, err := faulty.Ciphertext()
+		if err != nil {
+			return err
+		}
+		funcVisible[f] = !bytes.Equal(ct, wantCT)
+		trng := healthy.SplitRand(stream, uint64(f))
 		emHits := 0
-		functional := false
 		for i := 0; i < trials; i++ {
-			cap, err := faulty.CapturePT(cfg.Plaintext, cfg.Key, cfg.CaptureCycles)
-			if err != nil {
-				return nil, err
-			}
-			s, _ := faulty.Acquire(cap, ch)
+			s, _ := ch.Acquire(cap, trng)
 			if fp.Evaluate(s).Alarm {
 				emHits++
 			}
-			ct, err := faulty.Ciphertext()
-			if err != nil {
-				return nil, err
-			}
-			if !bytes.Equal(ct, wantCT) {
-				functional = true
-			}
 		}
-		em := emHits > trials/2
+		emVisible[f] = emHits > trials/2
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	res := &FaultsResult{Faults: faults}
+	for f := 0; f < faults; f++ {
+		em, functional := emVisible[f], funcVisible[f]
 		if functional {
 			res.FunctionallyVisible++
 		}

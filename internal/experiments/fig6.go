@@ -187,15 +187,11 @@ func Fig6Spectra(cfg Config) (*SpectraResult, error) {
 	cycles := cfg.SpectralCycles
 	nGolden := cfg.GoldenTraces/8 + 4
 
-	var golden []*trace.Trace
-	for i := 0; i < nGolden; i++ {
-		cap, err := c.Capture(cfg.Key, cycles)
-		if err != nil {
-			return nil, err
-		}
-		s, _ := c.Acquire(cap, ch)
-		golden = append(golden, s)
+	goldenSet, err := captureRandomSet(c, cfg.Key, ch, nGolden, cycles)
+	if err != nil {
+		return nil, err
 	}
+	golden := goldenSet.Sensor.Traces
 	sd, err := core.BuildSpectralDetector(golden, cfg.Spectral)
 	if err != nil {
 		return nil, err
@@ -208,11 +204,11 @@ func Fig6Spectra(cfg Config) (*SpectraResult, error) {
 		if err := c.SetTrojan(k, true); err != nil {
 			return nil, err
 		}
-		cap, err := c.Capture(cfg.Key, cycles)
+		onSet, err := captureRandomSet(c, cfg.Key, ch, 1, cycles)
 		if err != nil {
 			return nil, err
 		}
-		s, _ := c.Acquire(cap, ch)
+		s := onSet.Sensor.Traces[0]
 		if err := c.SetTrojan(k, false); err != nil {
 			return nil, err
 		}

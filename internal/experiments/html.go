@@ -98,8 +98,10 @@ func addA2Spectra(cfg Config, r *report.Report) error {
 	if err != nil {
 		return err
 	}
-	specOff := dsp.NewSpectrum(dormant[0].Samples, dormant[0].Dt, cfg.Spectral.Window)
-	specOn := dsp.NewSpectrum(firing[0].Samples, firing[0].Dt, cfg.Spectral.Window)
+	offTrace := dormant.Sensor.Traces[0]
+	onTrace := firing.Sensor.Traces[0]
+	specOff := dsp.NewSpectrum(offTrace.Samples, offTrace.Dt, cfg.Spectral.Window)
+	specOn := dsp.NewSpectrum(onTrace.Samples, onTrace.Dt, cfg.Spectral.Window)
 	limit := specOff.Bin(3 * cfg.Chip.Power.ClockHz) // up to the 3rd clock multiple
 	r.AddHeading("Figure 4 — A2 Trojan in the frequency domain",
 		"Blue: dormant. Red: triggering (fast-flipping trigger raises the clock harmonic).")

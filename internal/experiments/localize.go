@@ -42,47 +42,36 @@ func Localize(cfg Config) (*LocalizeResult, error) {
 	coils := emfield.QuadrantSpirals(fp.Die, cfg.Chip.SpiralTurns/2+1, cfg.Chip.SpiralZ)
 	couplings := make([]*emfield.Coupling, 4)
 	for q, coil := range coils {
-		cp, err := emfield.NewCoupling(coil, fp.Grid, cfg.Chip.TileLoopArea, cfg.Chip.Quad)
+		cp, err := emfield.CachedCoupling(coil, fp.Grid, cfg.Chip.TileLoopArea, cfg.Chip.Quad)
 		if err != nil {
 			return nil, err
 		}
 		couplings[q] = cp
 	}
 
-	// Per-quadrant RMS of a capture's emf.
+	// Per-quadrant RMS of a capture's emf. Captures here are noise-free
+	// and the stimulus is fixed, so repeated captures from a steady state
+	// are identical; one warm-up capture absorbs the state transient left
+	// by SetTrojan, and a single measured capture replaces the old
+	// average-of-repetitions.
+	var emfBuf []float64
 	measure := func() ([4]float64, error) {
+		if _, err := c.CapturePT(cfg.Plaintext, cfg.Key, cfg.CaptureCycles); err != nil {
+			return [4]float64{}, err
+		}
 		cap, err := c.CapturePT(cfg.Plaintext, cfg.Key, cfg.CaptureCycles)
 		if err != nil {
 			return [4]float64{}, err
 		}
 		var out [4]float64
 		for q, cp := range couplings {
-			out[q] = dsp.RMS(cp.EMF(cap.Tiles, cap.Dt))
+			emfBuf = cp.EMFInto(emfBuf, cap.Tiles, cap.Dt)
+			out[q] = dsp.RMS(emfBuf)
 		}
 		return out, nil
 	}
-	average := func(n int) ([4]float64, error) {
-		var acc [4]float64
-		for i := 0; i < n; i++ {
-			m, err := measure()
-			if err != nil {
-				return acc, err
-			}
-			for q := range acc {
-				acc[q] += m[q]
-			}
-		}
-		for q := range acc {
-			acc[q] /= float64(n)
-		}
-		return acc, nil
-	}
 
-	reps := cfg.TestTraces / 6
-	if reps < 4 {
-		reps = 4
-	}
-	golden, err := average(reps)
+	golden, err := measure()
 	if err != nil {
 		return nil, err
 	}
@@ -92,7 +81,7 @@ func Localize(cfg Config) (*LocalizeResult, error) {
 		if err := c.SetTrojan(k, true); err != nil {
 			return nil, err
 		}
-		active, err := average(reps)
+		active, err := measure()
 		if err != nil {
 			return nil, err
 		}

@@ -50,23 +50,20 @@ func snr(cfg Config, ch chip.Channels, mode string) (*SNRResult, error) {
 	if records < 4 {
 		records = 4
 	}
+	idle, err := idleTraces(c, ch, records, 16)
+	if err != nil {
+		return nil, err
+	}
+	signal, err := captureRandomSet(c, cfg.Key, ch, records, 16)
+	if err != nil {
+		return nil, err
+	}
 	var signalS, signalP, noiseS, noiseP []float64
 	for i := 0; i < records; i++ {
-		idle, err := c.CaptureIdle(16)
-		if err != nil {
-			return nil, err
-		}
-		sn, pn := c.Acquire(idle, ch)
-		noiseS = append(noiseS, sn.Samples...)
-		noiseP = append(noiseP, pn.Samples...)
-
-		cap, err := c.Capture(cfg.Key, 16)
-		if err != nil {
-			return nil, err
-		}
-		s, p := c.Acquire(cap, ch)
-		signalS = append(signalS, s.Samples...)
-		signalP = append(signalP, p.Samples...)
+		noiseS = append(noiseS, idle.Sensor.Traces[i].Samples...)
+		noiseP = append(noiseP, idle.Probe.Traces[i].Samples...)
+		signalS = append(signalS, signal.Sensor.Traces[i].Samples...)
+		signalP = append(signalP, signal.Probe.Traces[i].Samples...)
 	}
 	return &SNRResult{
 		Mode:        mode,

@@ -67,16 +67,11 @@ func Variation(cfg Config) (*VariationResult, error) {
 	ch := chip.SimulationChannels()
 
 	collect := func(c *chip.Chip, n int) ([]*trace.Trace, error) {
-		out := make([]*trace.Trace, n)
-		for i := range out {
-			cap, err := c.CapturePT(cfg.Plaintext, cfg.Key, cfg.CaptureCycles)
-			if err != nil {
-				return nil, err
-			}
-			s, _ := c.Acquire(cap, ch)
-			out[i] = s
+		set, err := captureSet(c, cfg, ch, n, cfg.CaptureCycles)
+		if err != nil {
+			return nil, err
 		}
-		return out, nil
+		return set.Sensor.Traces, nil
 	}
 
 	refGolden, err := collect(refChip, cfg.GoldenTraces)

@@ -100,6 +100,50 @@ func levelize(n *netlist.Netlist) ([]int, error) {
 // Netlist returns the design under simulation.
 func (s *Simulator) Netlist() *netlist.Netlist { return s.n }
 
+// State is an opaque copy of a simulator's mutable state (net values and
+// cycle counter). It lets capture engines roll a simulator back to a
+// known point without re-settling or losing input-port values the way
+// Reset would.
+type State struct {
+	values []uint8
+	cycle  int
+}
+
+// State snapshots the simulator's current net values and cycle counter.
+func (s *Simulator) State() *State {
+	v := make([]uint8, len(s.values))
+	copy(v, s.values)
+	return &State{values: v, cycle: s.cycle}
+}
+
+// SetState restores a snapshot taken with State. The snapshot must come
+// from a simulator of the same netlist; a length mismatch is a
+// programming error and panics.
+func (s *Simulator) SetState(st *State) {
+	if len(st.values) != len(s.values) {
+		panic(fmt.Sprintf("logic: state of %d nets restored into simulator of %d nets", len(st.values), len(s.values)))
+	}
+	copy(s.values, st.values)
+	s.cycle = st.cycle
+}
+
+// Fork returns an independent simulator over the same netlist, starting
+// from s's current state. The immutable levelization (topological order
+// and sequential-cell list) is shared with s; values and scratch buffers
+// are copied, so the fork can run on another goroutine.
+func (s *Simulator) Fork() *Simulator {
+	f := &Simulator{
+		n:      s.n,
+		values: make([]uint8, len(s.values)),
+		order:  s.order,
+		seq:    s.seq,
+		newQ:   make([]uint8, len(s.seq)),
+		cycle:  s.cycle,
+	}
+	copy(f.values, s.values)
+	return f
+}
+
 // Cycle returns the number of completed Tick calls since the last Reset.
 func (s *Simulator) Cycle() int { return s.cycle }
 

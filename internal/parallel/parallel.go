@@ -1,0 +1,117 @@
+// Package parallel provides the deterministic worker-pool primitives
+// behind the trace-capture engine: index-addressed fan-out of n
+// independent tasks over up to GOMAXPROCS workers, with per-worker state
+// (a chip clone, a scratch buffer) created up front so workers never
+// share mutable structures. Determinism is the caller's contract: every
+// task writes only to its own index and derives any randomness from the
+// task index, never from a shared stream, so results are bit-identical
+// for any worker count and any schedule.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// maxWorkers caps the pool size; 0 (the default) means GOMAXPROCS.
+var maxWorkers atomic.Int32
+
+// SetMaxWorkers overrides the worker cap (0 restores the GOMAXPROCS
+// default) and returns a function that restores the previous cap. Tests
+// use it to pin the pool to 1, 2 or 8 workers when asserting that
+// parallel output is bit-identical to serial output.
+func SetMaxWorkers(n int) (restore func()) {
+	old := maxWorkers.Swap(int32(n))
+	return func() { maxWorkers.Store(old) }
+}
+
+// Workers returns the effective pool size for n tasks: the configured
+// cap (or GOMAXPROCS), never more than n and never less than 1.
+func Workers(n int) int {
+	w := int(maxWorkers.Load())
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// Run executes fn(worker, i) for every index i in [0, n) across a pool
+// of Workers(n) goroutines. Worker state is built by newWorker — called
+// serially, before any task runs, so it may safely read shared structures
+// that the tasks later mutate (e.g. cloning a chip). Indices are handed
+// out dynamically; callers must make each task independent and
+// index-addressed so the schedule cannot influence results. The first
+// task or worker error stops the pool and is returned; on error some
+// tasks may not have run.
+func Run[W any](n int, newWorker func(w int) (W, error), fn func(worker W, i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	workers := Workers(n)
+	if workers == 1 {
+		w, err := newWorker(0)
+		if err != nil {
+			return err
+		}
+		for i := 0; i < n; i++ {
+			if err := fn(w, i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	ws := make([]W, workers)
+	for i := range ws {
+		w, err := newWorker(i)
+		if err != nil {
+			return err
+		}
+		ws[i] = w
+	}
+	var (
+		next   atomic.Int64
+		failed atomic.Bool
+		mu     sync.Mutex
+		first  error
+		wg     sync.WaitGroup
+	)
+	for _, w := range ws {
+		wg.Add(1)
+		go func(w W) {
+			defer wg.Done()
+			for !failed.Load() {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				if err := fn(w, i); err != nil {
+					mu.Lock()
+					if first == nil {
+						first = err
+					}
+					mu.Unlock()
+					failed.Store(true)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	mu.Lock()
+	defer mu.Unlock()
+	return first
+}
+
+// For is Run without per-worker state: fn(i) for every i in [0, n).
+func For(n int, fn func(i int) error) error {
+	return Run(n,
+		func(int) (struct{}, error) { return struct{}{}, nil },
+		func(_ struct{}, i int) error { return fn(i) })
+}

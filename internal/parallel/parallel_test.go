@@ -1,0 +1,112 @@
+package parallel
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForCoversAllIndices(t *testing.T) {
+	for _, workers := range []int{1, 2, 8} {
+		restore := SetMaxWorkers(workers)
+		n := 100
+		seen := make([]atomic.Int32, n)
+		if err := For(n, func(i int) error {
+			seen[i].Add(1)
+			return nil
+		}); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i := range seen {
+			if got := seen[i].Load(); got != 1 {
+				t.Errorf("workers=%d: index %d ran %d times", workers, i, got)
+			}
+		}
+		restore()
+	}
+}
+
+func TestRunWorkerState(t *testing.T) {
+	restore := SetMaxWorkers(4)
+	defer restore()
+	var created atomic.Int32
+	out := make([]int, 64)
+	err := Run(len(out),
+		func(w int) (int, error) {
+			created.Add(1)
+			return w, nil
+		},
+		func(worker, i int) error {
+			out[i] = worker + 1 // mark which worker wrote the slot
+			return nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := int(created.Load()); got != 4 {
+		t.Errorf("created %d workers, want 4", got)
+	}
+	for i, v := range out {
+		if v == 0 {
+			t.Errorf("index %d never ran", i)
+		}
+	}
+}
+
+func TestRunPropagatesFirstError(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		restore := SetMaxWorkers(workers)
+		boom := errors.New("boom")
+		err := For(50, func(i int) error {
+			if i == 7 {
+				return boom
+			}
+			return nil
+		})
+		if !errors.Is(err, boom) {
+			t.Errorf("workers=%d: got %v, want boom", workers, err)
+		}
+		restore()
+	}
+}
+
+func TestRunNewWorkerError(t *testing.T) {
+	restore := SetMaxWorkers(3)
+	defer restore()
+	wantErr := fmt.Errorf("no worker")
+	err := Run(10,
+		func(w int) (int, error) {
+			if w == 1 {
+				return 0, wantErr
+			}
+			return w, nil
+		},
+		func(worker, i int) error { return nil })
+	if !errors.Is(err, wantErr) {
+		t.Errorf("got %v, want worker-creation error", err)
+	}
+}
+
+func TestWorkersClamps(t *testing.T) {
+	restore := SetMaxWorkers(8)
+	defer restore()
+	if got := Workers(3); got != 3 {
+		t.Errorf("Workers(3) = %d, want 3 (never more than tasks)", got)
+	}
+	if got := Workers(100); got != 8 {
+		t.Errorf("Workers(100) = %d, want the cap 8", got)
+	}
+	restore()
+	restore2 := SetMaxWorkers(0)
+	defer restore2()
+	if got := Workers(1); got != 1 {
+		t.Errorf("Workers(1) = %d, want 1", got)
+	}
+}
+
+func TestRunZeroTasks(t *testing.T) {
+	if err := For(0, func(int) error { t.Fatal("must not run"); return nil }); err != nil {
+		t.Fatal(err)
+	}
+}

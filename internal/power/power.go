@@ -163,14 +163,27 @@ func pulseShape(cfg Config) []float64 {
 	return shape
 }
 
-// Begin starts a capture of numCycles clock cycles.
+// Begin starts a capture of numCycles clock cycles. Waveform buffers are
+// reused across captures when the dimensions still fit, which is why
+// Capture.Tiles documents its slices as valid only until the next
+// capture on the same chip.
 func (r *Recorder) Begin(numCycles int) {
 	r.numCycles = numCycles
 	r.cycle = 0
 	total := numCycles * r.cfg.SamplesPerCycle
-	r.currents = make([][]float64, r.grid.NumTiles())
+	if len(r.currents) != r.grid.NumTiles() {
+		r.currents = make([][]float64, r.grid.NumTiles())
+	}
 	for t := range r.currents {
-		r.currents[t] = make([]float64, total)
+		if cap(r.currents[t]) >= total {
+			w := r.currents[t][:total]
+			for i := range w {
+				w[i] = 0
+			}
+			r.currents[t] = w
+		} else {
+			r.currents[t] = make([]float64, total)
+		}
 	}
 	for t := range r.cycleCharge {
 		r.cycleCharge[t] = 0
