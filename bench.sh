@@ -3,11 +3,11 @@
 # successive PRs can track the speedup trajectory.
 #
 # Usage: ./bench.sh [output.json] [extra go-test args...]
-# Default output: BENCH_1.json. Extra args are passed to `go test`
+# Default output: BENCH_2.json. Extra args are passed to `go test`
 # (e.g. ./bench.sh out.json -bench 'SNR|Euclidean' -benchtime 2x).
 set -eu
 
-out="${1:-BENCH_1.json}"
+out="${1:-BENCH_2.json}"
 [ $# -gt 0 ] && shift
 
 raw="$(mktemp)"

@@ -13,6 +13,7 @@ import (
 
 	"emtrust/internal/chip"
 	"emtrust/internal/core"
+	"emtrust/internal/degrade"
 	"emtrust/internal/dsp"
 	"emtrust/internal/emfield"
 	"emtrust/internal/experiments"
@@ -399,6 +400,79 @@ func BenchmarkCachedCoupling(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkDegradedMonitor measures the hardened runtime monitor on a
+// degraded Trojan-free stream: health pre-check, PCA projection,
+// baseline shift, debounce and the guarded EWMA update per trace. The
+// false-alarm metric tracks what the hardening buys at the moderate
+// fault severity.
+func BenchmarkDegradedMonitor(b *testing.B) {
+	cfg := benchConfig()
+	c, err := chip.New(cfg.Chip)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := c.DeactivateAll(); err != nil {
+		b.Fatal(err)
+	}
+	ch := chip.SimulationChannels()
+	capture := func() *trace.Trace {
+		cap, err := c.CapturePT(cfg.Plaintext, cfg.Key, cfg.CaptureCycles)
+		if err != nil {
+			b.Fatal(err)
+		}
+		s, _ := c.Acquire(cap, ch)
+		return s
+	}
+	golden := make([]*trace.Trace, cfg.GoldenTraces)
+	for i := range golden {
+		golden[i] = capture()
+	}
+	fp, err := core.BuildFingerprint(golden, cfg.Fingerprint)
+	if err != nil {
+		b.Fatal(err)
+	}
+	health, err := core.BuildChannelHealth(golden, core.DefaultHealthConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	prof := degrade.Profile{
+		Severity: 2,
+		RefRMS:   health.GoldenRMS,
+		RefPeak:  health.GoldenPeak,
+		Span:     4 * cfg.TestTraces,
+	}
+	dch := degrade.Wrap(degrade.Identity{}, prof.Stages()...)
+	stream := c.NextStream()
+	degraded := make([]*trace.Trace, cfg.TestTraces)
+	for i := range degraded {
+		clean := capture()
+		degraded[i] = dch.AcquireAt(i, clean.Samples, clean.Dt, c.SplitRand(stream, uint64(i)))
+	}
+	var falseAlarms float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m, err := core.NewMonitorWith(fp, nil, core.HardenedOptions(health))
+		if err != nil {
+			b.Fatal(err)
+		}
+		go func() {
+			for _, t := range degraded {
+				m.Submit(t)
+			}
+			m.Close()
+		}()
+		confirmed := 0
+		for v := range m.Verdicts() {
+			if v.Confirmed() {
+				confirmed++
+			}
+		}
+		falseAlarms = float64(confirmed) / float64(len(degraded))
+	}
+	b.ReportMetric(float64(len(degraded))*float64(b.N)/b.Elapsed().Seconds(), "traces_per_s")
+	b.ReportMetric(100*falseAlarms, "false-alarm-%")
 }
 
 // BenchmarkCleanCapture measures one 32-cycle fixed-stimulus capture on

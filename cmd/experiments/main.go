@@ -41,6 +41,7 @@ func runners() []runner {
 		{"variation", "Extension: golden-chip vs self-referenced fingerprints under process variation", func(c experiments.Config) (fmt.Stringer, error) { return experiments.Variation(c) }},
 		{"robustness", "Extension: detection vs environment noise sweep", func(c experiments.Config) (fmt.Stringer, error) { return experiments.Robustness(c) }},
 		{"faults", "Extension: stuck-at fault detectability (EM vs functional test)", func(c experiments.Config) (fmt.Stringer, error) { return experiments.Faults(c) }},
+		{"degradation", "Extension: acquisition-chain faults, naive vs hardened monitor", func(c experiments.Config) (fmt.Stringer, error) { return experiments.Degradation(c) }},
 	}
 }
 

@@ -8,9 +8,15 @@
 // -load, the deployment flow where fingerprinting happens once after
 // installation.
 //
+// With -inject the monitored stream is acquired through a degraded
+// readout chain (internal/degrade's fault profile at the given
+// severity) and the monitor runs with the hardening stages — health
+// gate, debouncing, guarded re-baselining — so the demo shows the
+// difference between "Trojan activated" and "sensor dying" live.
+//
 // Usage:
 //
-//	trustmon [-traces n] [-golden n] [-cycles n] [-seed n] [-save dir] [-load dir]
+//	trustmon [-traces n] [-golden n] [-cycles n] [-seed n] [-inject sev] [-save dir] [-load dir]
 package main
 
 import (
@@ -23,6 +29,7 @@ import (
 
 	"emtrust/internal/chip"
 	"emtrust/internal/core"
+	"emtrust/internal/degrade"
 	"emtrust/internal/trace"
 	"emtrust/internal/trojan"
 )
@@ -34,6 +41,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "random seed")
 	saveDir := flag.String("save", "", "save the fitted golden models to this directory")
 	loadDir := flag.String("load", "", "load previously saved golden models instead of fitting")
+	inject := flag.Float64("inject", 0, "inject acquisition-chain faults at this severity (0 = healthy channel; 1-3 is a plausible aging sweep) and run the hardened monitor")
 	flag.Parse()
 
 	key := []byte{0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6, 0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf, 0x4f, 0x3c}
@@ -62,13 +70,14 @@ func main() {
 
 	var fp *core.Fingerprint
 	var sd *core.SpectralDetector
+	var golden []*trace.Trace
 	if *loadDir != "" {
 		log.Printf("loading golden models from %s", *loadDir)
 		fp = loadFingerprint(*loadDir)
 		sd = loadSpectral(*loadDir)
 	} else {
 		log.Printf("fitting golden fingerprint from %d traces...", *nGolden)
-		golden := make([]*trace.Trace, *nGolden)
+		golden = make([]*trace.Trace, *nGolden)
 		for i := range golden {
 			golden[i] = capture()
 		}
@@ -86,9 +95,38 @@ func main() {
 		saveModels(*saveDir, fp, sd)
 		log.Printf("saved golden models to %s", *saveDir)
 	}
-	mon, err := core.NewMonitor(fp, sd, 8)
-	if err != nil {
-		log.Fatal(err)
+
+	var mon *core.Monitor
+	var err2 error
+	if *inject > 0 {
+		// The health envelope needs golden traces; with -load the models
+		// came from disk, so calibrate from a short fresh capture on the
+		// still-healthy channel.
+		if golden == nil {
+			log.Printf("capturing %d traces to calibrate the channel-health envelope...", healthCalibration)
+			golden = make([]*trace.Trace, healthCalibration)
+			for i := range golden {
+				golden[i] = capture()
+			}
+		}
+		health, err := core.BuildChannelHealth(golden, core.DefaultHealthConfig())
+		if err != nil {
+			log.Fatal(err)
+		}
+		prof := degrade.Profile{
+			Severity: *inject,
+			RefRMS:   health.GoldenRMS,
+			RefPeak:  health.GoldenPeak,
+			Span:     4 * *nTraces,
+		}
+		ch.Sensor = degrade.Wrap(ch.Sensor, prof.Stages()...)
+		log.Printf("injecting acquisition-chain faults at severity %.1fx; hardened monitor engaged", *inject)
+		mon, err2 = core.NewMonitorWith(fp, sd, core.HardenedOptions(health))
+	} else {
+		mon, err2 = core.NewMonitor(fp, sd, 8)
+	}
+	if err2 != nil {
+		log.Fatal(err2)
 	}
 
 	// Activation schedule: each quarter of the stream activates the
@@ -133,8 +171,18 @@ func main() {
 		fmt.Println(v)
 	}
 	total, alarms := mon.Stats()
-	fmt.Printf("monitored %d traces, %d alarms\n", total, alarms)
+	if *inject > 0 {
+		rejected, confirmed := mon.HardenedStats()
+		fmt.Printf("monitored %d traces, %d raw alarms, %d confirmed, %d health-rejected\n",
+			total, alarms, confirmed, rejected)
+	} else {
+		fmt.Printf("monitored %d traces, %d alarms\n", total, alarms)
+	}
 }
+
+// healthCalibration is the capture count for the channel-health envelope
+// when the golden models were loaded from disk.
+const healthCalibration = 20
 
 func saveModels(dir string, fp *core.Fingerprint, sd *core.SpectralDetector) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {

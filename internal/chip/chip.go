@@ -496,10 +496,12 @@ type Capture struct {
 	Tiles [][]float64
 }
 
-// Channels bundles the two acquisition channels of an experiment.
+// Channels bundles the two acquisition channels of an experiment. The
+// fields are interfaces so a degradation wrapper (internal/degrade) can
+// stand in for the healthy trace.Acquisition on either side.
 type Channels struct {
-	Sensor trace.Acquisition
-	Probe  trace.Acquisition
+	Sensor trace.Channel
+	Probe  trace.Channel
 }
 
 // SimulationChannels returns the Section IV noise setup: white noise

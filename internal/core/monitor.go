@@ -4,27 +4,63 @@ import (
 	"fmt"
 	"sync"
 
+	"emtrust/internal/stats"
 	"emtrust/internal/trace"
 )
 
-// Verdict combines both detectors' views of one trace.
+// Verdict combines both detectors' views of one trace, plus the
+// hardening context: the channel-health pre-check, the debounce window,
+// and a confidence score that replaces raw booleans when the channel is
+// degraded.
 type Verdict struct {
 	Seq      int
 	Time     TimeVerdict
 	Spectral SpectralVerdict
+	// Health is the pre-check outcome; the zero value means accepted
+	// (or unchecked, on a monitor without a health gate).
+	Health HealthVerdict
+	// Window is the debouncer's m-of-n view; N == 0 when debouncing is
+	// off.
+	Window WindowState
+	// Confidence in this verdict, in [0, 1]: 1 on a pristine channel,
+	// lower as the channel degrades, 0 for a rejected trace.
+	Confidence float64
 }
 
-// Alarm reports whether either detector fired.
+// Alarm reports whether either detector raw-fired on this trace.
 func (v Verdict) Alarm() bool { return v.Time.Alarm || v.Spectral.Alarm }
+
+// Confirmed reports the debounced Trojan alarm: with debouncing enabled
+// it requires M raw alarms in the last N traces; without it, it equals
+// Alarm(). A health-rejected trace never confirms — a dying sensor is a
+// maintenance event, not a Trojan detection.
+func (v Verdict) Confirmed() bool {
+	if v.Health.Rejected {
+		return false
+	}
+	if v.Window.N > 0 {
+		return v.Window.Confirmed
+	}
+	return v.Alarm()
+}
 
 // String renders a one-line monitor log entry.
 func (v Verdict) String() string {
 	status := "ok"
-	if v.Alarm() {
+	switch {
+	case v.Health.Rejected:
+		status = "REJECT(" + v.Health.Reason + ")"
+	case v.Confirmed():
 		status = "ALARM"
+	case v.Alarm():
+		status = "alarm?" // raw hit, not yet confirmed by the window
 	}
-	return fmt.Sprintf("trace %d: %s distance=%.4g threshold=%.4g spots=%d",
+	s := fmt.Sprintf("trace %d: %s distance=%.4g threshold=%.4g spots=%d",
 		v.Seq, status, v.Time.Distance, v.Time.Threshold, len(v.Spectral.Spots))
+	if v.Window.N > 0 {
+		s += fmt.Sprintf(" window=%d/%d confidence=%.2f", v.Window.Alarms, v.Window.N, v.Confidence)
+	}
+	return s
 }
 
 // Monitor is the runtime trust evaluation loop of Figure 1: traces from
@@ -33,32 +69,48 @@ func (v Verdict) String() string {
 // degradation on the monitored chip). With more than one worker the
 // evaluations themselves run concurrently — both detectors are read-only
 // after fitting — while verdicts are still emitted in submission order.
+// The hardening stages (health gate, debouncer, re-baseliner) are
+// stateful and run in the in-order emitter, so they see the stream
+// exactly as submitted regardless of worker count.
 type Monitor struct {
-	fp *Fingerprint
-	sd *SpectralDetector
+	fp     *Fingerprint
+	sd     *SpectralDetector
+	health *ChannelHealth
+	db     *debouncer
+	rb     *rebaseliner
 
 	in      chan *trace.Trace
 	out     chan Verdict
 	wg      sync.WaitGroup
 	history struct {
 		sync.Mutex
-		alarms int
-		total  int
+		alarms    int
+		total     int
+		rejected  int
+		confirmed int
 	}
 }
 
+// eval carries a worker's stateless result to the in-order finalizer:
+// the verdict skeleton plus the raw score vector when the emitter must
+// apply the drift baseline itself.
+type eval struct {
+	v     Verdict
+	score []float64
+}
+
 // job carries one submitted trace through the pool; done delivers its
-// verdict to the in-order emitter.
+// evaluation to the in-order emitter.
 type job struct {
 	seq  int
 	t    *trace.Trace
-	done chan Verdict
+	done chan eval
 }
 
 // NewMonitor builds a single-worker runtime monitor from fitted
 // detectors. Either detector may be nil to run the other alone.
 func NewMonitor(fp *Fingerprint, sd *SpectralDetector, buffer int) (*Monitor, error) {
-	return NewMonitorPool(fp, sd, buffer, 1)
+	return NewMonitorWith(fp, sd, MonitorOptions{Buffer: buffer})
 }
 
 // NewMonitorPool is NewMonitor with a worker pool of the given size
@@ -66,26 +118,50 @@ func NewMonitor(fp *Fingerprint, sd *SpectralDetector, buffer int) (*Monitor, er
 // order regardless of worker count; workers <= 1 degrades to the serial
 // monitor.
 func NewMonitorPool(fp *Fingerprint, sd *SpectralDetector, buffer, workers int) (*Monitor, error) {
+	return NewMonitorWith(fp, sd, MonitorOptions{Buffer: buffer, Workers: workers})
+}
+
+// NewMonitorWith builds a monitor with explicit options (see
+// MonitorOptions; the zero value reproduces the paper's monitor).
+func NewMonitorWith(fp *Fingerprint, sd *SpectralDetector, opts MonitorOptions) (*Monitor, error) {
 	if fp == nil && sd == nil {
 		return nil, fmt.Errorf("core: monitor needs at least one detector")
 	}
+	if err := opts.Debounce.validate(); err != nil {
+		return nil, err
+	}
+	if err := opts.Rebaseline.validate(); err != nil {
+		return nil, err
+	}
+	if opts.Rebaseline.enabled() && fp == nil {
+		return nil, fmt.Errorf("core: re-baselining needs the time-domain fingerprint")
+	}
+	buffer := opts.Buffer
 	if buffer < 0 {
 		buffer = 0
 	}
+	workers := opts.Workers
 	if workers < 1 {
 		workers = 1
 	}
 	m := &Monitor{
-		fp:  fp,
-		sd:  sd,
-		in:  make(chan *trace.Trace, buffer),
-		out: make(chan Verdict, buffer),
+		fp:     fp,
+		sd:     sd,
+		health: opts.Health,
+		in:     make(chan *trace.Trace, buffer),
+		out:    make(chan Verdict, buffer),
+	}
+	if opts.Debounce.enabled() {
+		m.db = newDebouncer(opts.Debounce)
+	}
+	if opts.Rebaseline.enabled() {
+		m.rb = &rebaseliner{alpha: opts.Rebaseline.Alpha}
 	}
 
 	// Dispatcher: stamps sequence numbers and registers each job with the
 	// emitter (pending preserves submission order). Workers: evaluate in
 	// any order, delivering on the job's private channel. Emitter: drains
-	// pending in order, so out-of-order completions wait their turn.
+	// pending in order, finalizing the stateful hardening stages there.
 	jobs := make(chan job, workers)
 	pending := make(chan job, buffer+workers)
 	m.wg.Add(1)
@@ -93,7 +169,7 @@ func NewMonitorPool(fp *Fingerprint, sd *SpectralDetector, buffer, workers int) 
 		defer m.wg.Done()
 		seq := 0
 		for t := range m.in {
-			j := job{seq: seq, t: t, done: make(chan Verdict, 1)}
+			j := job{seq: seq, t: t, done: make(chan eval, 1)}
 			seq++
 			pending <- j
 			jobs <- j
@@ -116,11 +192,18 @@ func NewMonitorPool(fp *Fingerprint, sd *SpectralDetector, buffer, workers int) 
 		defer m.wg.Done()
 		defer close(m.out)
 		for j := range pending {
-			v := <-j.done
+			e := <-j.done
+			v := m.finalize(e)
 			m.history.Lock()
 			m.history.total++
 			if v.Alarm() {
 				m.history.alarms++
+			}
+			if v.Health.Rejected {
+				m.history.rejected++
+			}
+			if v.Confirmed() {
+				m.history.confirmed++
 			}
 			m.history.Unlock()
 			m.out <- v
@@ -130,14 +213,61 @@ func NewMonitorPool(fp *Fingerprint, sd *SpectralDetector, buffer, workers int) 
 	return m, nil
 }
 
-// evaluate runs both detectors on one trace.
-func (m *Monitor) evaluate(seq int, t *trace.Trace) Verdict {
-	v := Verdict{Seq: seq}
+// evaluate runs the stateless work on one trace: the health pre-check
+// and both detectors. With re-baselining enabled the time-domain
+// distance depends on emitter state, so only the projected score is
+// computed here.
+func (m *Monitor) evaluate(seq int, t *trace.Trace) eval {
+	e := eval{v: Verdict{Seq: seq, Confidence: 1}}
+	if m.health != nil {
+		e.v.Health = m.health.Check(t)
+		e.v.Confidence = m.health.Confidence(e.v.Health)
+		if e.v.Health.Rejected {
+			return e // no usable evidence; detectors skipped
+		}
+	}
 	if m.fp != nil {
-		v.Time = m.fp.Evaluate(t)
+		if m.rb != nil {
+			e.score = m.fp.Project(t)
+		} else {
+			e.v.Time = m.fp.Evaluate(t)
+		}
 	}
 	if m.sd != nil {
-		v.Spectral = m.sd.Evaluate(t)
+		e.v.Spectral = m.sd.Evaluate(t)
+	}
+	return e
+}
+
+// finalize applies the stateful hardening stages in submission order:
+// baseline-shifted distance, debounce window, and the guarded EWMA
+// update.
+func (m *Monitor) finalize(e eval) Verdict {
+	v := e.v
+	if v.Health.Rejected {
+		if m.db != nil {
+			v.Window = m.db.state() // window unchanged: no evidence either way
+		}
+		return v
+	}
+	if m.rb != nil && e.score != nil {
+		d := stats.MinDistanceToSet(m.rb.shift(e.score), m.fp.Golden)
+		v.Time = TimeVerdict{Distance: d, Threshold: m.fp.Threshold, Alarm: d > m.fp.Threshold}
+	}
+	raw := v.Time.Alarm || v.Spectral.Alarm
+	if m.db != nil {
+		v.Window = m.db.push(raw)
+	}
+	// Guarded re-baselining: adapt only on quiet traces (no raw alarm —
+	// an alarming trace never feeds the baseline, so a Trojan's own
+	// signature is never averaged in) and only while the debounce window
+	// holds no alarm evidence at all. A marginal Trojan fires on some
+	// traces and sits just under threshold on others; freezing on any
+	// window evidence keeps those sub-threshold activations out of the
+	// baseline too, instead of slowly averaging the Trojan in between
+	// its own alarms.
+	if m.rb != nil && e.score != nil && !raw && v.Window.Alarms == 0 {
+		m.rb.update(e.score, m.fp.Centroid)
 	}
 	return v
 }
@@ -155,9 +285,33 @@ func (m *Monitor) Close() {
 	m.wg.Wait()
 }
 
-// Stats returns the running totals.
+// Stats returns the running totals: traces evaluated and raw detector
+// alarms.
 func (m *Monitor) Stats() (total, alarms int) {
 	m.history.Lock()
 	defer m.history.Unlock()
 	return m.history.total, m.history.alarms
+}
+
+// HardenedStats returns the hardening counters: health-rejected traces
+// and debounce-confirmed alarms.
+func (m *Monitor) HardenedStats() (rejected, confirmed int) {
+	m.history.Lock()
+	defer m.history.Unlock()
+	return m.history.rejected, m.history.confirmed
+}
+
+// BaselineOffset returns a copy of the current drift-tracking offset in
+// score space (nil when re-baselining is off or nothing has been
+// adapted yet). Its norm is the amount of slow drift the monitor has
+// absorbed instead of alarming on.
+func (m *Monitor) BaselineOffset() []float64 {
+	if m.rb == nil {
+		return nil
+	}
+	off := m.rb.snapshot()
+	if len(off) == 0 {
+		return nil
+	}
+	return off
 }

@@ -66,7 +66,17 @@ func LoadFingerprint(r io.Reader) (*Fingerprint, error) {
 	if len(j.Components) == 0 || len(j.Golden) == 0 || len(j.Mean) == 0 {
 		return nil, fmt.Errorf("core: fingerprint file incomplete")
 	}
+	// Cross-field consistency: every dimension below feeds a routine that
+	// panics on mismatch (PCA.Project, Euclidean), so a corrupt or
+	// hand-edited file must be refused here, not crash the monitor later.
 	d := len(j.Mean)
+	seg := j.Segments
+	if seg <= 0 {
+		seg = 32 // the extractor's default resolution
+	}
+	if seg != d {
+		return nil, fmt.Errorf("core: fingerprint has %d segments but a %d-dim mean", seg, d)
+	}
 	comp := stats.NewMatrix(len(j.Components), d)
 	for i, row := range j.Components {
 		if len(row) != d {
@@ -74,13 +84,27 @@ func LoadFingerprint(r io.Reader) (*Fingerprint, error) {
 		}
 		copy(comp.Row(i), row)
 	}
+	if len(j.Variances) != len(j.Components) {
+		return nil, fmt.Errorf("core: %d variances for %d components", len(j.Variances), len(j.Components))
+	}
+	scoreDim := len(j.Components)
+	if j.Residual {
+		scoreDim++
+	}
 	k := len(j.Golden[0])
+	if k != scoreDim {
+		return nil, fmt.Errorf("core: golden scores are %d-dim, want %d (%d components, residual=%t)",
+			k, scoreDim, len(j.Components), j.Residual)
+	}
 	golden := stats.NewMatrix(len(j.Golden), k)
 	for i, row := range j.Golden {
 		if len(row) != k {
 			return nil, fmt.Errorf("core: golden score %d has %d dims, want %d", i, len(row), k)
 		}
 		copy(golden.Row(i), row)
+	}
+	if len(j.Centroid) != k {
+		return nil, fmt.Errorf("core: centroid is %d-dim, want %d", len(j.Centroid), k)
 	}
 	fp := &Fingerprint{
 		Extractor: FeatureExtractor{Segments: j.Segments},
@@ -135,6 +159,9 @@ func LoadSpectralDetector(r io.Reader) (*SpectralDetector, error) {
 	}
 	if len(j.Envelope) == 0 {
 		return nil, fmt.Errorf("core: spectral detector file incomplete")
+	}
+	if len(j.Mean) != 0 && len(j.Mean) != len(j.Envelope) {
+		return nil, fmt.Errorf("core: spectral mean is %d bins, envelope %d", len(j.Mean), len(j.Envelope))
 	}
 	return &SpectralDetector{
 		cfg: SpectralConfig{

@@ -1,0 +1,111 @@
+package core
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// The persisted golden models are the monitor's long-lived state: they
+// outlive restarts and may be copied between hosts, so a corrupt or
+// hostile file must come back as an error from Load, never as a model
+// that panics the analysis module on its first trace. The fuzzers below
+// push arbitrary bytes through both loaders and, whenever a load
+// succeeds, immediately exercise the loaded model the way the monitor
+// would.
+
+// savedFingerprint builds a small valid fingerprint and returns its
+// serialized form (the seed corpus anchor).
+func savedFingerprint(tb testing.TB) []byte {
+	tb.Helper()
+	rng := rand.New(rand.NewSource(41))
+	fp, err := BuildFingerprint(goldenSet(rng, 8, 256), FingerprintConfig{
+		Segments: 8, Components: 3, ThresholdMargin: 1, IncludeResidual: true,
+	})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := fp.Save(&buf); err != nil {
+		tb.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func savedSpectral(tb testing.TB) []byte {
+	tb.Helper()
+	rng := rand.New(rand.NewSource(42))
+	sd, err := BuildSpectralDetector(goldenSet(rng, 6, 512), DefaultSpectralConfig())
+	if err != nil {
+		tb.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := sd.Save(&buf); err != nil {
+		tb.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func FuzzLoadFingerprint(f *testing.F) {
+	valid := savedFingerprint(f)
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2]) // truncated mid-object
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"version":1}`))
+	f.Add([]byte(`{"version":1,"segments":4,"mean":[1,2],"components":[[1,2]],"variances":[1],"golden_scores":[[0.5]],"centroid":[0.5]}`))
+	f.Add([]byte(`{"version":1,"segments":2,"mean":[1,2],"components":[[1,2]],"variances":[1],"golden_scores":[[0.5,0.1,0.2]],"centroid":[0.5],"residual":true}`))
+	f.Add([]byte(`{"version":1,"segments":2,"mean":[1,2],"components":[[1,2]],"variances":[1],"golden_scores":[[0.5]],"centroid":[0.5,0.9,0.1]}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fp, err := LoadFingerprint(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// A load that succeeds must hand back a model the monitor can use
+		// without crashing, whatever the trace looks like.
+		rng := rand.New(rand.NewSource(1))
+		for _, n := range []int{0, 1, 257} {
+			tr := synthTrace(rng, n, 0)
+			v := fp.Evaluate(tr)
+			if v.Threshold != fp.Threshold {
+				t.Fatalf("verdict threshold %g, model %g", v.Threshold, fp.Threshold)
+			}
+			fp.CentroidDistance(tr)
+		}
+		// And it must round-trip.
+		var buf bytes.Buffer
+		if err := fp.Save(&buf); err != nil {
+			t.Fatalf("re-saving a loaded fingerprint: %v", err)
+		}
+		if _, err := LoadFingerprint(&buf); err != nil {
+			t.Fatalf("re-loading a saved fingerprint: %v", err)
+		}
+	})
+}
+
+func FuzzLoadSpectralDetector(f *testing.F) {
+	valid := savedSpectral(f)
+	f.Add(valid)
+	f.Add(valid[:len(valid)/3])
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"version":1}`))
+	f.Add([]byte(`{"version":1,"envelope":[1,2,3],"mean":[1],"floor":0.1,"df":1000}`))
+	f.Add([]byte(`{"version":1,"window":9999,"envelope":[0.1],"floor":-5,"df":0}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		sd, err := LoadSpectralDetector(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		rng := rand.New(rand.NewSource(2))
+		for _, n := range []int{0, 1, 512, 4096} {
+			v := sd.Evaluate(synthTrace(rng, n, 0.5))
+			v.StrongestSpot()
+		}
+		var buf bytes.Buffer
+		if err := sd.Save(&buf); err != nil {
+			t.Fatalf("re-saving a loaded detector: %v", err)
+		}
+		if _, err := LoadSpectralDetector(&buf); err != nil {
+			t.Fatalf("re-loading a saved detector: %v", err)
+		}
+	})
+}

@@ -1,0 +1,338 @@
+// Package degrade injects measurement-chain faults between the coil and
+// the data-analysis module. A deployed sensor does not stay healthy for
+// the life of the device: its ADC saturates, samples drop or stick, the
+// front end picks up burst interference, gain and offset drift with
+// aging and temperature, the sample clock jitters, and in the worst case
+// the coil breaks or is tampered flat. Each of those failure modes is a
+// composable Stage; a Channel wraps any trace.Channel with a stage list,
+// so every experiment can acquire through an injected-fault chain and
+// the runtime monitor can be graded on telling "Trojan activated" from
+// "sensor dying".
+//
+// Determinism contract: stages draw all randomness from the per-capture
+// generator handed to Acquire (the experiments derive it from
+// chip.SplitRand), and drift-like stages depend only on the explicit
+// trace index, so a degraded stream is bit-identical for a given seed.
+package degrade
+
+import (
+	"math/rand"
+	"sync/atomic"
+
+	"emtrust/internal/trace"
+)
+
+// Env carries per-acquisition context into a stage: the sample spacing,
+// the trace's index along the deployment timeline (drift accrues with
+// it), and the capture's private random generator.
+type Env struct {
+	Dt    float64
+	Index int
+	Rng   *rand.Rand
+}
+
+// Stage mutates one acquired trace in place.
+type Stage interface {
+	// Name identifies the stage in logs and reports.
+	Name() string
+	// Apply degrades the samples in place.
+	Apply(samples []float64, env Env)
+}
+
+// Identity is the no-op inner channel: it copies the input waveform
+// verbatim. Wrapping it turns a stage list into a pure re-measurement
+// chain, which lets experiments replay an already-acquired trace set
+// through a fault profile without touching the originals.
+type Identity struct{}
+
+// Acquire copies the waveform into a fresh trace.
+func (Identity) Acquire(clean []float64, dt float64, _ *rand.Rand) *trace.Trace {
+	s := make([]float64, len(clean))
+	copy(s, clean)
+	return &trace.Trace{Dt: dt, Samples: s}
+}
+
+// Channel wraps an inner acquisition channel with degradation stages,
+// applied in order after the healthy acquisition (the faults live in the
+// readout chain, downstream of the physics).
+type Channel struct {
+	Inner  trace.Channel
+	Stages []Stage
+	next   atomic.Int64
+}
+
+// Wrap builds a degraded channel over inner.
+func Wrap(inner trace.Channel, stages ...Stage) *Channel {
+	return &Channel{Inner: inner, Stages: stages}
+}
+
+// Acquire implements trace.Channel, advancing an internal timeline
+// index per call. The internal index makes this order-sensitive: loops
+// that may be reordered or parallelized must use AcquireAt with an
+// explicit index instead.
+func (c *Channel) Acquire(clean []float64, dt float64, rng *rand.Rand) *trace.Trace {
+	return c.AcquireAt(int(c.next.Add(1)-1), clean, dt, rng)
+}
+
+// AcquireAt acquires through the inner channel and applies every stage
+// with the given timeline index. Deterministic for a given (index, rng).
+func (c *Channel) AcquireAt(index int, clean []float64, dt float64, rng *rand.Rand) *trace.Trace {
+	t := c.Inner.Acquire(clean, dt, rng)
+	env := Env{Dt: dt, Index: index, Rng: rng}
+	for _, s := range c.Stages {
+		s.Apply(t.Samples, env)
+	}
+	return t
+}
+
+// Clip saturates the record at the ADC rails ±Rail, the signature of a
+// front-end gain that drifted past the converter's full scale.
+type Clip struct {
+	Rail float64
+}
+
+func (c Clip) Name() string { return "clip" }
+
+func (c Clip) Apply(s []float64, _ Env) {
+	if c.Rail <= 0 {
+		return
+	}
+	for i, v := range s {
+		if v > c.Rail {
+			s[i] = c.Rail
+		} else if v < -c.Rail {
+			s[i] = -c.Rail
+		}
+	}
+}
+
+// Dropout zeroes individual samples with probability Rate per sample
+// (missed ADC conversions).
+type Dropout struct {
+	Rate float64
+}
+
+func (d Dropout) Name() string { return "dropout" }
+
+func (d Dropout) Apply(s []float64, env Env) {
+	if d.Rate <= 0 {
+		return
+	}
+	for i := range s {
+		if env.Rng.Float64() < d.Rate {
+			s[i] = 0
+		}
+	}
+}
+
+// Stuck starts, with probability Rate per sample, a run in which the
+// converter repeats its previous output (a stuck sample-and-hold). Run
+// lengths are uniform in [1, 2*MeanRun-1], mean MeanRun.
+type Stuck struct {
+	Rate    float64
+	MeanRun int
+}
+
+func (g Stuck) Name() string { return "stuck" }
+
+func (g Stuck) Apply(s []float64, env Env) {
+	if g.Rate <= 0 || len(s) < 2 {
+		return
+	}
+	mean := g.MeanRun
+	if mean < 1 {
+		mean = 1
+	}
+	for i := 1; i < len(s); i++ {
+		if env.Rng.Float64() >= g.Rate {
+			continue
+		}
+		run := 1 + env.Rng.Intn(2*mean-1)
+		hold := s[i-1]
+		for j := 0; j < run && i < len(s); j, i = j+1, i+1 {
+			s[i] = hold
+		}
+	}
+}
+
+// Burst adds runs of strong white noise (relay chatter, a neighbouring
+// driver switching): with probability Rate per sample a burst of RMS
+// amplitude starts, lasting uniform [1, 2*MeanRun-1] samples.
+type Burst struct {
+	Rate    float64
+	RMS     float64
+	MeanRun int
+}
+
+func (b Burst) Name() string { return "burst" }
+
+func (b Burst) Apply(s []float64, env Env) {
+	if b.Rate <= 0 || b.RMS <= 0 {
+		return
+	}
+	mean := b.MeanRun
+	if mean < 1 {
+		mean = 1
+	}
+	for i := 0; i < len(s); i++ {
+		if env.Rng.Float64() >= b.Rate {
+			continue
+		}
+		run := 1 + env.Rng.Intn(2*mean-1)
+		for j := 0; j < run && i < len(s); j, i = j+1, i+1 {
+			s[i] += env.Rng.NormFloat64() * b.RMS
+		}
+	}
+}
+
+// Drift applies slow front-end aging: by trace index i the gain has
+// moved to 1 + GainPerTrace*i and the offset to OffsetPerTrace*i. Within
+// one trace the drift is constant — aging is slow against a capture
+// window.
+type Drift struct {
+	GainPerTrace   float64
+	OffsetPerTrace float64
+}
+
+func (d Drift) Name() string { return "drift" }
+
+func (d Drift) Apply(s []float64, env Env) {
+	gain := 1 + d.GainPerTrace*float64(env.Index)
+	offset := d.OffsetPerTrace * float64(env.Index)
+	if gain == 1 && offset == 0 {
+		return
+	}
+	for i, v := range s {
+		s[i] = v*gain + offset
+	}
+}
+
+// Jitter resamples the record with Gaussian sample-clock jitter of
+// RMSFraction sample periods, by linear interpolation between the
+// neighbouring true samples.
+type Jitter struct {
+	RMSFraction float64
+}
+
+func (j Jitter) Name() string { return "jitter" }
+
+func (j Jitter) Apply(s []float64, env Env) {
+	if j.RMSFraction <= 0 || len(s) < 2 {
+		return
+	}
+	orig := make([]float64, len(s))
+	copy(orig, s)
+	max := float64(len(s) - 1)
+	for i := range s {
+		pos := float64(i) + env.Rng.NormFloat64()*j.RMSFraction
+		if pos < 0 {
+			pos = 0
+		} else if pos > max {
+			pos = max
+		}
+		lo := int(pos)
+		frac := pos - float64(lo)
+		if lo >= len(s)-1 {
+			s[i] = orig[len(s)-1]
+			continue
+		}
+		s[i] = orig[lo]*(1-frac) + orig[lo+1]*frac
+	}
+}
+
+// Flatline kills the channel outright (coil break, tamper) from trace
+// index Start onward: the record collapses to the constant Level.
+type Flatline struct {
+	Start int
+	Level float64
+}
+
+func (f Flatline) Name() string { return "flatline" }
+
+func (f Flatline) Apply(s []float64, env Env) {
+	if env.Index < f.Start {
+		return
+	}
+	for i := range s {
+		s[i] = f.Level
+	}
+}
+
+// Profile bundles the standard fault mix of an aging front end at one
+// severity knob, with magnitudes anchored to the healthy channel's
+// signal RMS. Severity 1 is a plausibly degraded deployed sensor (mild
+// bursts, slow drift, occasional glitches); severity grows every rate
+// and amplitude linearly and pulls the ADC rail down toward the signal.
+type Profile struct {
+	// Severity scales every fault; <= 0 disables all stages.
+	Severity float64
+	// RefRMS is the healthy channel's signal RMS (sets absolute
+	// magnitudes for bursts and offsets).
+	RefRMS float64
+	// RefPeak is the healthy channel's peak amplitude; the ADC rail is
+	// anchored to it, since a converter's full scale is sized to the
+	// signal's crest, not its RMS (EM current pulses are spiky — crest
+	// factors of 5-6 are normal). Defaults to 3*RefRMS when zero.
+	RefPeak float64
+	// Span is the trace count over which the drift accrues to its full
+	// value (GainDrift, OffsetDrift); <= 0 defaults to 100.
+	Span int
+	// GainDrift is the total relative gain drift at Severity 1 across
+	// Span traces (default 0.08 when zero).
+	GainDrift float64
+	// OffsetDrift is the total offset drift at Severity 1 across Span
+	// traces, as a multiple of RefRMS (default 0.25 when zero). Offset
+	// enters a segment's RMS quadratically (sqrt(r^2 + o^2)), so the
+	// apparent drift accelerates along the stream even though the offset
+	// itself grows linearly.
+	OffsetDrift float64
+}
+
+// Stages materializes the profile into an ordered stage list: drift and
+// jitter act on the analog path, then glitches and bursts, then the ADC
+// rail clips last.
+func (p Profile) Stages() []Stage {
+	if p.Severity <= 0 {
+		return nil
+	}
+	span := p.Span
+	if span <= 0 {
+		span = 100
+	}
+	gain := p.GainDrift
+	if gain == 0 {
+		gain = 0.08
+	}
+	offset := p.OffsetDrift
+	if offset == 0 {
+		offset = 0.25
+	}
+	sev := p.Severity
+	ref := p.RefRMS
+	peak := p.RefPeak
+	if peak <= 0 {
+		peak = 3 * ref
+	}
+	// The rail starts above the signal crest and closes in as the chain
+	// degrades: 2.4x the golden peak at severity 1 (clips nothing), 1.2x
+	// at 2 (shaves the tallest pulses), 0.8x at 3 (real saturation).
+	rail := 2.4 * peak / sev
+	return []Stage{
+		Drift{
+			GainPerTrace:   gain * sev / float64(span),
+			OffsetPerTrace: offset * sev * ref / float64(span),
+		},
+		// Jitter stays small: it is white per-trace noise, and even a few
+		// percent of a sample period swamps the Eq. (1) threshold in a way
+		// no slow-drift tracker can compensate.
+		Jitter{RMSFraction: 0.01 * sev},
+		Dropout{Rate: 0.001 * sev},
+		Stuck{Rate: 0.0005 * sev, MeanRun: 6},
+		// Bursts are rare but violent: interference arrives as sporadic
+		// events a debouncer can ride out, not as a steady alarm floor.
+		// Long runs on purpose — a burst parks enough samples at the ADC
+		// rail for the health gate's clip-ratio check to call it.
+		Burst{Rate: 0.0001 * sev, RMS: 8 * ref, MeanRun: 30},
+		Clip{Rail: rail},
+	}
+}

@@ -1,0 +1,190 @@
+package degrade
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"emtrust/internal/trace"
+)
+
+// passthrough returns the clean waveform unchanged, isolating the
+// stages under test from acquisition noise.
+type passthrough struct{}
+
+func (passthrough) Acquire(clean []float64, dt float64, _ *rand.Rand) *trace.Trace {
+	s := make([]float64, len(clean))
+	copy(s, clean)
+	return &trace.Trace{Dt: dt, Samples: s}
+}
+
+func ramp(n int) []float64 {
+	s := make([]float64, n)
+	for i := range s {
+		s[i] = math.Sin(float64(i) * 0.1)
+	}
+	return s
+}
+
+func TestClipSaturates(t *testing.T) {
+	ch := Wrap(passthrough{}, Clip{Rail: 0.5})
+	tr := ch.AcquireAt(0, ramp(256), 1e-8, rand.New(rand.NewSource(1)))
+	for i, v := range tr.Samples {
+		if v > 0.5 || v < -0.5 {
+			t.Fatalf("sample %d = %g beyond rail", i, v)
+		}
+	}
+	clipped := 0
+	for _, v := range tr.Samples {
+		if v == 0.5 || v == -0.5 {
+			clipped++
+		}
+	}
+	if clipped == 0 {
+		t.Fatal("nothing hit the rail; the stimulus should exceed 0.5")
+	}
+}
+
+func TestDropoutZeroesSamples(t *testing.T) {
+	ch := Wrap(passthrough{}, Dropout{Rate: 0.2})
+	in := make([]float64, 2000)
+	for i := range in {
+		in[i] = 1
+	}
+	tr := ch.AcquireAt(0, in, 1e-8, rand.New(rand.NewSource(2)))
+	zeros := 0
+	for _, v := range tr.Samples {
+		if v == 0 {
+			zeros++
+		}
+	}
+	if zeros < 200 || zeros > 700 {
+		t.Fatalf("dropout rate off: %d/2000 zeros", zeros)
+	}
+}
+
+func TestStuckHoldsRuns(t *testing.T) {
+	ch := Wrap(passthrough{}, Stuck{Rate: 0.05, MeanRun: 4})
+	in := make([]float64, 1000)
+	for i := range in {
+		in[i] = float64(i) // strictly increasing, so repeats betray the stage
+	}
+	tr := ch.AcquireAt(0, in, 1e-8, rand.New(rand.NewSource(3)))
+	repeats := 0
+	for i := 1; i < len(tr.Samples); i++ {
+		if tr.Samples[i] == tr.Samples[i-1] {
+			repeats++
+		}
+	}
+	if repeats == 0 {
+		t.Fatal("no stuck runs injected")
+	}
+}
+
+func TestBurstRaisesRMS(t *testing.T) {
+	ch := Wrap(passthrough{}, Burst{Rate: 0.01, RMS: 10, MeanRun: 8})
+	tr := ch.AcquireAt(0, ramp(4096), 1e-8, rand.New(rand.NewSource(4)))
+	var energy float64
+	for _, v := range tr.Samples {
+		energy += v * v
+	}
+	clean := ramp(4096)
+	var cleanEnergy float64
+	for _, v := range clean {
+		cleanEnergy += v * v
+	}
+	if energy < 2*cleanEnergy {
+		t.Fatalf("burst noise did not raise energy: %g vs clean %g", energy, cleanEnergy)
+	}
+}
+
+func TestDriftAccruesWithIndex(t *testing.T) {
+	ch := Wrap(passthrough{}, Drift{GainPerTrace: 0.01, OffsetPerTrace: 0.1})
+	rng := rand.New(rand.NewSource(5))
+	early := ch.AcquireAt(0, ramp(64), 1e-8, rng)
+	late := ch.AcquireAt(50, ramp(64), 1e-8, rng)
+	// Index 0: untouched. Index 50: gain 1.5, offset +5.
+	for i := range early.Samples {
+		want := ramp(64)[i]*1.5 + 5
+		if math.Abs(late.Samples[i]-want) > 1e-12 {
+			t.Fatalf("sample %d: %g, want %g", i, late.Samples[i], want)
+		}
+		if early.Samples[i] != ramp(64)[i] {
+			t.Fatalf("index 0 must be drift-free")
+		}
+	}
+}
+
+func TestJitterPreservesEnvelope(t *testing.T) {
+	ch := Wrap(passthrough{}, Jitter{RMSFraction: 0.3})
+	in := ramp(1024)
+	tr := ch.AcquireAt(0, in, 1e-8, rand.New(rand.NewSource(6)))
+	moved := 0
+	for i, v := range tr.Samples {
+		if v != in[i] {
+			moved++
+		}
+		if v > 1 || v < -1 {
+			t.Fatalf("interpolation overshot at %d: %g", i, v)
+		}
+	}
+	if moved < len(in)/4 {
+		t.Fatalf("jitter barely moved anything: %d samples", moved)
+	}
+}
+
+func TestFlatlineStartsAtIndex(t *testing.T) {
+	ch := Wrap(passthrough{}, Flatline{Start: 10})
+	rng := rand.New(rand.NewSource(7))
+	alive := ch.AcquireAt(9, ramp(64), 1e-8, rng)
+	dead := ch.AcquireAt(10, ramp(64), 1e-8, rng)
+	for i := range alive.Samples {
+		if alive.Samples[i] != ramp(64)[i] {
+			t.Fatal("flatline fired early")
+		}
+		if dead.Samples[i] != 0 {
+			t.Fatal("flatline left a live sample")
+		}
+	}
+}
+
+func TestChannelDeterministicPerIndex(t *testing.T) {
+	stages := Profile{Severity: 2, RefRMS: 0.7, Span: 50}.Stages()
+	a := Wrap(trace.SimulationChannel(0.05), stages...)
+	b := Wrap(trace.SimulationChannel(0.05), stages...)
+	in := ramp(512)
+	for _, idx := range []int{0, 7, 49} {
+		ta := a.AcquireAt(idx, in, 1e-8, rand.New(rand.NewSource(99)))
+		tb := b.AcquireAt(idx, in, 1e-8, rand.New(rand.NewSource(99)))
+		for i := range ta.Samples {
+			if ta.Samples[i] != tb.Samples[i] {
+				t.Fatalf("index %d sample %d diverged: %g vs %g", idx, i, ta.Samples[i], tb.Samples[i])
+			}
+		}
+	}
+}
+
+func TestAcquireAdvancesTimeline(t *testing.T) {
+	ch := Wrap(passthrough{}, Drift{OffsetPerTrace: 1})
+	rng := rand.New(rand.NewSource(8))
+	first := ch.Acquire(make([]float64, 4), 1e-8, rng)
+	second := ch.Acquire(make([]float64, 4), 1e-8, rng)
+	if first.Samples[0] != 0 || second.Samples[0] != 1 {
+		t.Fatalf("timeline index not advancing: %g then %g", first.Samples[0], second.Samples[0])
+	}
+}
+
+func TestProfileSeverityZeroIsPristine(t *testing.T) {
+	if got := (Profile{Severity: 0, RefRMS: 1}).Stages(); got != nil {
+		t.Fatalf("severity 0 must inject nothing, got %d stages", len(got))
+	}
+	stages := Profile{Severity: 1, RefRMS: 1, Span: 100}.Stages()
+	if len(stages) == 0 {
+		t.Fatal("severity 1 must inject stages")
+	}
+	for _, s := range stages {
+		if s.Name() == "" {
+			t.Fatal("unnamed stage")
+		}
+	}
+}

@@ -136,7 +136,12 @@ func Faults(cfg Config) (*FaultsResult, error) {
 // String renders the fault study.
 func (r *FaultsResult) String() string {
 	var sb strings.Builder
-	pct := func(n int) float64 { return 100 * float64(n) / float64(r.Faults) }
+	pct := func(n int) float64 {
+		if r.Faults == 0 {
+			return 0
+		}
+		return 100 * float64(n) / float64(r.Faults)
+	}
 	fmt.Fprintf(&sb, "Stuck-at fault detectability, %d random AES faults (extension)\n", r.Faults)
 	fmt.Fprintf(&sb, "%-34s %6d (%.0f%%)\n", "ciphertext corrupted (functional)", r.FunctionallyVisible, pct(r.FunctionallyVisible))
 	fmt.Fprintf(&sb, "%-34s %6d (%.0f%%)\n", "EM fingerprint alarm", r.EMVisible, pct(r.EMVisible))

@@ -35,7 +35,7 @@ func Robustness(cfg Config) (*RobustnessResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	base := chip.SimulationChannels().Sensor.NoiseRMS
+	base := chip.SimulationChannels().Sensor.(trace.Acquisition).NoiseRMS
 	res := &RobustnessResult{BaseNoiseRMS: base}
 	for _, scale := range []float64{0.5, 1, 2, 4} {
 		ch := chip.Channels{

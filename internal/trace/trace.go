@@ -39,6 +39,14 @@ func (t *Trace) CSV() string {
 	return sb.String()
 }
 
+// Channel converts a clean coil waveform into a measured trace. The
+// concrete Acquisition models a healthy front end; wrappers (see
+// internal/degrade) can interpose fault injection between the coil and
+// the data-analysis module without the experiments noticing.
+type Channel interface {
+	Acquire(clean []float64, dt float64, rng *rand.Rand) *Trace
+}
+
 // Acquisition models one measurement channel (sensor or probe).
 type Acquisition struct {
 	// NoiseRMS is the RMS of the additive white Gaussian environment
