@@ -3,12 +3,25 @@
 # successive PRs can track the speedup trajectory.
 #
 # Usage: ./bench.sh [output.json] [extra go-test args...]
-# Default output: BENCH_2.json. Extra args are passed to `go test`
-# (e.g. ./bench.sh out.json -bench 'SNR|Euclidean' -benchtime 2x).
+# Default output: BENCH_<N+1>.json where N is the highest existing
+# BENCH_<n>.json snapshot (BENCH_1.json if none exist). Extra args are
+# passed to `go test` (e.g. ./bench.sh out.json -bench 'SNR' -benchtime 2x).
 set -eu
 
-out="${1:-BENCH_2.json}"
-[ $# -gt 0 ] && shift
+if [ $# -gt 0 ]; then
+    out="$1"
+    shift
+else
+    max=0
+    for f in BENCH_*.json; do
+        [ -e "$f" ] || continue
+        n="${f#BENCH_}"
+        n="${n%.json}"
+        case "$n" in '' | *[!0-9]*) continue ;; esac
+        [ "$n" -gt "$max" ] && max="$n"
+    done
+    out="BENCH_$((max + 1)).json"
+fi
 
 raw="$(mktemp)"
 trap 'rm -f "$raw"' EXIT

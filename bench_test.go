@@ -19,6 +19,7 @@ import (
 	"emtrust/internal/experiments"
 	"emtrust/internal/layout"
 	"emtrust/internal/netlist"
+	"emtrust/internal/sensorarray"
 	"emtrust/internal/trace"
 	"emtrust/internal/trojan"
 )
@@ -473,6 +474,33 @@ func BenchmarkDegradedMonitor(b *testing.B) {
 	}
 	b.ReportMetric(float64(len(degraded))*float64(b.N)/b.Elapsed().Seconds(), "traces_per_s")
 	b.ReportMetric(100*falseAlarms, "false-alarm-%")
+}
+
+// BenchmarkArrayCapture measures one full sensor-array frame on a
+// prebuilt chip: one chip capture per mux window, fanned out over the
+// 16 per-coil emf syntheses and acquisitions through the worker pool.
+func BenchmarkArrayCapture(b *testing.B) {
+	cfg := benchConfig()
+	c, err := chip.New(cfg.Chip)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := c.DeactivateAll(); err != nil {
+		b.Fatal(err)
+	}
+	c.EnableA2(false)
+	arr, err := sensorarray.New(c.Floorplan(), sensorarray.ConfigFor(cfg.Chip, 4))
+	if err != nil {
+		b.Fatal(err)
+	}
+	ch := sensorarray.DefaultChannel()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := arr.ScanEncryption(c, ch, cfg.Plaintext, cfg.Key, cfg.CaptureCycles); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(arr.NumCoils()*b.N)/b.Elapsed().Seconds(), "coils_per_s")
 }
 
 // BenchmarkCleanCapture measures one 32-cycle fixed-stimulus capture on

@@ -1,0 +1,25 @@
+#!/bin/sh
+# Tier-1 gate: build, vet, formatting, and the race-enabled test suite.
+# Run before every commit; CI runs the same sequence.
+set -eu
+
+cd "$(dirname "$0")"
+
+echo "== go build =="
+go build ./...
+
+echo "== go vet =="
+go vet ./...
+
+echo "== gofmt =="
+unformatted="$(gofmt -l .)"
+if [ -n "$unformatted" ]; then
+    echo "gofmt needed on:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
+echo "== go test -race -shuffle=on =="
+go test -race -shuffle=on ./...
+
+echo "all checks passed"

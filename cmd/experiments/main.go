@@ -42,6 +42,7 @@ func runners() []runner {
 		{"robustness", "Extension: detection vs environment noise sweep", func(c experiments.Config) (fmt.Stringer, error) { return experiments.Robustness(c) }},
 		{"faults", "Extension: stuck-at fault detectability (EM vs functional test)", func(c experiments.Config) (fmt.Stringer, error) { return experiments.Faults(c) }},
 		{"degradation", "Extension: acquisition-chain faults, naive vs hardened monitor", func(c experiments.Config) (fmt.Stringer, error) { return experiments.Degradation(c) }},
+		{"localization", "Extension: golden-model-free detection and localization with the sensor array", func(c experiments.Config) (fmt.Stringer, error) { return experiments.Localization(c) }},
 	}
 }
 

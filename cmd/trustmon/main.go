@@ -14,9 +14,15 @@
 // gate, debouncing, guarded re-baselining — so the demo shows the
 // difference between "Trojan activated" and "sensor dying" live.
 //
+// With -array N the whole-die sensor and its golden fingerprint are
+// replaced by an N×N on-chip coil array with the golden-model-free
+// self-referencing monitor: the array calibrates on the deployed chip
+// itself, then each frame's verdict names the hottest cell and die tile
+// (-channels bounds the ADC mux budget).
+//
 // Usage:
 //
-//	trustmon [-traces n] [-golden n] [-cycles n] [-seed n] [-inject sev] [-save dir] [-load dir]
+//	trustmon [-traces n] [-golden n] [-cycles n] [-seed n] [-inject sev] [-save dir] [-load dir] [-array n [-channels k]]
 package main
 
 import (
@@ -30,6 +36,7 @@ import (
 	"emtrust/internal/chip"
 	"emtrust/internal/core"
 	"emtrust/internal/degrade"
+	"emtrust/internal/sensorarray"
 	"emtrust/internal/trace"
 	"emtrust/internal/trojan"
 )
@@ -42,6 +49,8 @@ func main() {
 	saveDir := flag.String("save", "", "save the fitted golden models to this directory")
 	loadDir := flag.String("load", "", "load previously saved golden models instead of fitting")
 	inject := flag.Float64("inject", 0, "inject acquisition-chain faults at this severity (0 = healthy channel; 1-3 is a plausible aging sweep) and run the hardened monitor")
+	array := flag.Int("array", 0, "monitor with an NxN sensor array and the golden-model-free detector instead of the fingerprint (0 = off)")
+	channels := flag.Int("channels", 0, "ADC channel budget for -array: coils digitized per capture window (0 = all at once)")
 	flag.Parse()
 
 	key := []byte{0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6, 0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf, 0x4f, 0x3c}
@@ -57,6 +66,12 @@ func main() {
 		log.Fatal(err)
 	}
 	c.EnableA2(false)
+
+	if *array > 0 {
+		runArray(c, *array, *channels, *nTraces, *cycles, pt, key)
+		return
+	}
+
 	ch := chip.MeasurementChannels()
 
 	capture := func() *trace.Trace {
@@ -183,6 +198,92 @@ func main() {
 // healthCalibration is the capture count for the channel-health envelope
 // when the golden models were loaded from disk.
 const healthCalibration = 20
+
+// arrayCalFrames is the self-calibration frame count of the -array mode.
+const arrayCalFrames = 8
+
+// runArray is the -array mode: no golden model anywhere. The array
+// calibrates its cross-sensor baseline on the deployed chip, then the
+// activation schedule runs and each frame's verdict names the hottest
+// cell; at the end of an alarming phase the per-cell heatmap is printed.
+func runArray(c *chip.Chip, n, channels, nTraces, cycles int, pt, key []byte) {
+	acfg := sensorarray.ConfigFor(c.Config(), n)
+	acfg.Channels = channels
+	arr, err := sensorarray.New(c.Floorplan(), acfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ch := sensorarray.DefaultChannel()
+	scan := func() *sensorarray.Frame {
+		f, err := arr.ScanEncryption(c, ch, pt, key, cycles)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return f
+	}
+
+	log.Printf("sensor array %dx%d, %d capture windows per frame; self-calibrating on %d frames (no golden model)",
+		n, n, arr.Windows(), arrayCalFrames)
+	scan() // warm-up, absorbs the cold-start transient
+	frames := make([]*sensorarray.Frame, arrayCalFrames)
+	for i := range frames {
+		frames[i] = scan()
+	}
+	mon, err := sensorarray.Calibrate(arr, frames, nil, core.DefaultSelfReferenceConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	schedule := trojan.Kinds()
+	perPhase := nTraces / (len(schedule) + 1)
+	if perPhase < 1 {
+		perPhase = 1
+	}
+	grid := c.Floorplan().Grid
+	var active *trojan.Kind
+	alarms := 0
+	for i := 0; i < nTraces; i++ {
+		phase := i / perPhase
+		if phase >= 1 && phase <= len(schedule) {
+			want := schedule[phase-1]
+			if active == nil || *active != want {
+				if active != nil {
+					if err := c.SetTrojan(*active, false); err != nil {
+						log.Fatal(err)
+					}
+				}
+				if err := c.SetTrojan(want, true); err != nil {
+					log.Fatal(err)
+				}
+				active = &want
+				log.Printf("--- adversary activates %v (%s) ---", want, want.Description())
+			}
+		} else if active != nil {
+			if err := c.SetTrojan(*active, false); err != nil {
+				log.Fatal(err)
+			}
+			active = nil
+			log.Printf("--- all Trojans dormant ---")
+		}
+		f := scan()
+		v, err := mon.Evaluate(f)
+		if err != nil {
+			log.Fatal(err)
+		}
+		status := "ok"
+		if v.Alarm {
+			alarms++
+			cx, cy := arr.CellXY(v.ArgMax)
+			tile := arr.CellTile(v.ArgMax)
+			status = fmt.Sprintf("ALARM  cell (%d,%d) tile (%d,%d)", cx, cy, tile%grid.NX, tile/grid.NX)
+		}
+		fmt.Printf("frame %3d: max z %7.1f  %s\n", i, v.Max, status)
+		if v.Alarm && (i+1)%perPhase == 0 {
+			fmt.Print(mon.HeatmapString(v.Z))
+		}
+	}
+	fmt.Printf("monitored %d frames, %d alarms, no golden model consulted\n", nTraces, alarms)
+}
 
 func saveModels(dir string, fp *core.Fingerprint, sd *core.SpectralDetector) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {

@@ -3,6 +3,7 @@ package core
 import (
 	"math"
 	"math/rand"
+	"strings"
 	"testing"
 
 	"emtrust/internal/dsp"
@@ -373,5 +374,84 @@ func TestMonitorPoolPreservesOrder(t *testing.T) {
 		if total, _ := m.Stats(); total != n {
 			t.Fatalf("workers=%d: stats total %d, want %d", workers, total, n)
 		}
+	}
+}
+
+// A monitor closed before any submission must report zero traces and
+// zero alarms, and its verdict channel must just close.
+func TestMonitorStatsZeroTraces(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	fp, err := BuildFingerprint(goldenSet(rng, 10, 512), DefaultFingerprintConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewMonitor(fp, nil, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Close()
+	for range m.Verdicts() {
+		t.Fatal("verdict without a submission")
+	}
+	if total, alarms := m.Stats(); total != 0 || alarms != 0 {
+		t.Fatalf("stats = %d/%d, want 0/0", total, alarms)
+	}
+	if rejected, confirmed := m.HardenedStats(); rejected != 0 || confirmed != 0 {
+		t.Fatalf("hardened stats = %d/%d, want 0/0", rejected, confirmed)
+	}
+}
+
+// A spectral-only hit must alarm and (without debouncing) confirm, even
+// though the time-domain detector stayed quiet.
+func TestVerdictSpectralOnlyAlarm(t *testing.T) {
+	v := Verdict{
+		Time:     TimeVerdict{Distance: 0.1, Threshold: 0.5},
+		Spectral: SpectralVerdict{Alarm: true, Spots: []Spot{{}}},
+	}
+	if !v.Alarm() || !v.Confirmed() {
+		t.Fatal("spectral-only hit must raise a confirmed alarm")
+	}
+	if !strings.Contains(v.String(), "ALARM") || !strings.Contains(v.String(), "spots=1") {
+		t.Fatalf("rendering %q", v.String())
+	}
+}
+
+// Each verdict status has its own rendering, and a health-rejected or
+// unconfirmed-window alarm never confirms.
+func TestVerdictStatusEdges(t *testing.T) {
+	rejected := Verdict{
+		Time:   TimeVerdict{Alarm: true},
+		Health: HealthVerdict{Rejected: true, Reason: "flatline"},
+	}
+	if rejected.Confirmed() {
+		t.Fatal("health-rejected trace must never confirm")
+	}
+	if !strings.Contains(rejected.String(), "REJECT(flatline)") {
+		t.Fatalf("rendering %q", rejected.String())
+	}
+
+	pending := Verdict{
+		Time:       TimeVerdict{Alarm: true},
+		Window:     WindowState{M: 3, N: 5, Alarms: 1},
+		Confidence: 0.9,
+	}
+	if !pending.Alarm() || pending.Confirmed() {
+		t.Fatal("raw hit below the debounce threshold must not confirm")
+	}
+	s := pending.String()
+	if !strings.Contains(s, "alarm?") || !strings.Contains(s, "window=1/5") {
+		t.Fatalf("rendering %q", s)
+	}
+
+	confirmed := pending
+	confirmed.Window.Alarms = 3
+	confirmed.Window.Confirmed = true
+	if !confirmed.Confirmed() || !strings.Contains(confirmed.String(), "ALARM") {
+		t.Fatalf("rendering %q", confirmed.String())
+	}
+
+	clean := Verdict{Window: WindowState{M: 3, N: 5}}
+	if clean.Alarm() || clean.Confirmed() || !strings.Contains(clean.String(), "ok") {
+		t.Fatalf("rendering %q", clean.String())
 	}
 }

@@ -460,3 +460,72 @@ func TestCachedCouplingMemoizes(t *testing.T) {
 		t.Error("different quad resolution aliased the same cache entry")
 	}
 }
+
+// The half-lines belong to the east/north quadrants: the quadrant test
+// is >=, so a point exactly on a dividing line lands up and to the
+// right, and the die corners map to their own quadrants.
+func TestQuadrantOfBoundaries(t *testing.T) {
+	die := layout.Point{X: 2, Y: 4}
+	cases := []struct {
+		p Vec3
+		q int
+	}{
+		{Vec3{0, 0, 0}, 0},         // SW corner
+		{Vec3{2, 0, 0}, 1},         // SE corner
+		{Vec3{0, 4, 0}, 2},         // NW corner
+		{Vec3{2, 4, 0}, 3},         // NE corner
+		{Vec3{1, 0.5, 0}, 1},       // on the vertical divider, south half
+		{Vec3{1, 3.5, 0}, 3},       // on the vertical divider, north half
+		{Vec3{0.5, 2, 0}, 2},       // on the horizontal divider, west half
+		{Vec3{1.5, 2, 0}, 3},       // on the horizontal divider, east half
+		{Vec3{1, 2, 0}, 3},         // die center: both dividers
+		{Vec3{0.999, 1.999, 0}, 0}, // just inside SW
+	}
+	for _, c := range cases {
+		if got := QuadrantOf(die, c.p); got != c.q {
+			t.Errorf("QuadrantOf(%v, %+v) = %d (%s), want %d (%s)",
+				die, c.p, got, QuadrantNames[got], c.q, QuadrantNames[c.q])
+		}
+	}
+}
+
+// Each quadrant spiral is the whole-die spiral scaled by half in both
+// axes: per-turn area is a quarter, so each quadrant coil has a quarter
+// of the whole-die coil's total area — the per-coil sensitivity cost of
+// localization at equal turn counts — and the four together tile it.
+func TestQuadrantSpiralAreas(t *testing.T) {
+	die := layout.Point{X: 1e-3, Y: 0.8e-3}
+	const turns = 6
+	whole := OnChipSpiral(die, turns, 5e-6)
+	quads := QuadrantSpirals(die, turns, 5e-6)
+	relTol := func(got, want float64) bool {
+		return math.Abs(got-want) <= 1e-12*math.Max(math.Abs(got), math.Abs(want))
+	}
+	sum := 0.0
+	for q, c := range quads {
+		if !relTol(c.TotalArea(), whole.TotalArea()/4) {
+			t.Errorf("quadrant %s area %g, want 1/4 of whole-die %g",
+				QuadrantNames[q], c.TotalArea(), whole.TotalArea())
+		}
+		// Every turn stays inside its quadrant.
+		for i, l := range c.Loops {
+			r := l.(RectLoop)
+			xLo, xHi := r.CX-r.W/2, r.CX+r.W/2
+			yLo, yHi := r.CY-r.H/2, r.CY+r.H/2
+			qx, qy := float64(q%2), float64(q/2)
+			if xLo < qx*die.X/2-1e-15 || xHi > (qx+1)*die.X/2+1e-15 ||
+				yLo < qy*die.Y/2-1e-15 || yHi > (qy+1)*die.Y/2+1e-15 {
+				t.Errorf("quadrant %s turn %d [%g,%g]x[%g,%g] leaves its quadrant",
+					QuadrantNames[q], i, xLo, xHi, yLo, yHi)
+			}
+		}
+		sum += c.TotalArea()
+	}
+	if !relTol(sum, whole.TotalArea()) {
+		t.Errorf("four quadrants sum to %g, want the whole-die %g", sum, whole.TotalArea())
+	}
+	// More turns never shrink the accumulated area.
+	if OnChipSpiral(die, 12, 5e-6).TotalArea() <= whole.TotalArea() {
+		t.Error("doubling turns did not grow the whole-die total area")
+	}
+}

@@ -422,13 +422,16 @@ func TestWriteHTMLReport(t *testing.T) {
 	}
 	out := buf.String()
 	for _, want := range []string{
-		"<!DOCTYPE html>", "Table I", "on-chip sensor", "Figure 6", "Figure 4", "<svg", "</html>",
+		"<!DOCTYPE html>", "Table I", "on-chip sensor", "Figure 6", "Figure 4",
+		"Sensor array", "whole-die coil", "<svg", "</html>",
 	} {
 		if !strings.Contains(out, want) {
 			t.Errorf("report missing %q", want)
 		}
 	}
-	if got := strings.Count(out, "<svg"); got < 9 {
+	// The localization section contributes one heatmap per threat on top
+	// of the figure charts.
+	if got := strings.Count(out, "<svg"); got < 14 {
 		t.Fatalf("only %d charts rendered", got)
 	}
 }

@@ -76,7 +76,54 @@ func WriteHTMLReport(cfg Config, w io.Writer) error {
 		return err
 	}
 
+	// Extension: sensor-array localization heatmaps.
+	if err := addLocalization(cfg, r); err != nil {
+		return err
+	}
+
 	return r.WriteHTML(w)
+}
+
+// addLocalization renders the sensor-array sweep: the size/budget
+// summary tables and one die heatmap per threat on the 4×4 array, with
+// the true Trojan cell named next to the predicted one.
+func addLocalization(cfg Config, r *report.Report) error {
+	res, err := Localization(cfg)
+	if err != nil {
+		return err
+	}
+	r.AddHeading("Sensor array — golden-model-free localization (extension)",
+		"An N×N array of small coils replaces the whole-die spiral. Each coil is scored against its "+
+			"spatial neighbors and its own history — no golden chip — and the per-coil anomaly scores "+
+			"form a die heatmap that names the Trojan's tile.")
+	rows := make([][]string, 0, len(res.Grids))
+	for _, g := range res.Grids {
+		name := fmt.Sprintf("%dx%d", g.NX, g.NY)
+		if g.NX == 1 {
+			name += " (whole-die coil)"
+		}
+		rows = append(rows, []string{name, fmt.Sprint(g.Windows),
+			fmt.Sprintf("%d/%d", g.Detected, len(g.Threats)),
+			fmt.Sprintf("%d/%d", g.Localized, len(g.Threats))})
+	}
+	r.AddTable([]string{"array", "windows/frame", "detected", "localized"}, rows)
+	if four := res.Grid(4); four != nil {
+		for _, thr := range four.Threats {
+			tx, ty := thr.TrueCell%four.NX, thr.TrueCell/four.NX
+			r.AddHeatmap(
+				fmt.Sprintf("%s — mean anomaly z per cell (true cell (%d,%d), tile dist %d)",
+					thr.Name, tx, ty, thr.TileDist),
+				four.NX, four.NY, thr.Heat)
+		}
+	}
+	rows = rows[:0]
+	for _, g := range res.Budget {
+		rows = append(rows, []string{fmt.Sprint(g.Channels), fmt.Sprint(g.Windows),
+			fmt.Sprintf("%d/%d", g.Detected, len(g.Threats)),
+			fmt.Sprintf("%d/%d", g.Localized, len(g.Threats))})
+	}
+	r.AddTable([]string{"ADC channels (4x4)", "windows/frame", "detected", "localized"}, rows)
+	return nil
 }
 
 // addDegradation renders the fault-injection sweep: the false-alarm

@@ -181,6 +181,62 @@ func (r *Report) AddLines(title, xLabel string, xMin, xMax float64, logY bool, s
 	r.sections = append(r.sections, sb.String())
 }
 
+// AddHeatmap appends an nx×ny cell grid colored white→red by value —
+// the die-heatmap view of the sensor-array localization experiment.
+// values is row-major with row 0 the bottom row, matching die
+// coordinates; negative values clamp to white. The hottest cell is
+// outlined, and cells large enough carry their value as text.
+func (r *Report) AddHeatmap(title string, nx, ny int, values []float64) {
+	var sb strings.Builder
+	openSVG(&sb, title)
+	if nx <= 0 || ny <= 0 || len(values) != nx*ny {
+		sb.WriteString("</svg>\n")
+		r.sections = append(r.sections, sb.String())
+		return
+	}
+	maxV, hot := 0.0, 0
+	for i, v := range values {
+		if v > values[hot] {
+			hot = i
+		}
+		if v > maxV {
+			maxV = v
+		}
+	}
+	if maxV <= 0 {
+		maxV = 1
+	}
+	cell := math.Min(float64(chartW-2*margin)/float64(nx), float64(chartH-2*margin)/float64(ny))
+	x0, y0 := float64(margin), float64(chartH-margin)
+	cellRect := func(k int) (x, y float64) {
+		return x0 + float64(k%nx)*cell, y0 - float64(k/nx+1)*cell
+	}
+	lerp := func(frac float64, to int) int { return int(255 + frac*float64(to-255)) }
+	for k, v := range values {
+		frac := v / maxV
+		if frac < 0 {
+			frac = 0
+		}
+		x, y := cellRect(k)
+		// White fading into the report's golden red (#c0392b).
+		fmt.Fprintf(&sb, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="rgb(%d,%d,%d)" stroke="#ddd"/>`+"\n",
+			x, y, cell, cell, lerp(frac, 0xc0), lerp(frac, 0x39), lerp(frac, 0x2b))
+		if cell >= 24 {
+			color := "#333"
+			if frac > 0.6 {
+				color = "#fff"
+			}
+			fmt.Fprintf(&sb, `<text x="%.1f" y="%.1f" font-size="9" fill="%s" text-anchor="middle">%.1f</text>`+"\n",
+				x+cell/2, y+cell/2+3, color, v)
+		}
+	}
+	x, y := cellRect(hot)
+	fmt.Fprintf(&sb, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="none" stroke="#222" stroke-width="2"/>`+"\n",
+		x, y, cell, cell)
+	sb.WriteString("</svg>\n")
+	r.sections = append(r.sections, sb.String())
+}
+
 func openSVG(sb *strings.Builder, title string) {
 	fmt.Fprintf(sb, `<h3>%s</h3><svg viewBox="0 0 %d %d" width="%d" height="%d" role="img">`+"\n",
 		html.EscapeString(title), chartW, chartH, chartW, chartH)

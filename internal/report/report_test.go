@@ -108,3 +108,38 @@ func TestDefaultColorsCycle(t *testing.T) {
 		t.Fatal("colors must cycle")
 	}
 }
+
+func TestAddHeatmap(t *testing.T) {
+	r := New("heat")
+	// 2x2 grid, bottom row first; cell 3 (top-right) is hottest.
+	r.AddHeatmap("die map", 2, 2, []float64{0, 1, -2, 10})
+	var buf bytes.Buffer
+	if err := r.WriteHTML(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	// Background + 4 cells + hottest outline.
+	if got := strings.Count(out, "<rect"); got != 6 {
+		t.Fatalf("rect count = %d", got)
+	}
+	// The hottest cell is saturated red, the zero and negative cells white.
+	if !strings.Contains(out, "rgb(192,57,43)") {
+		t.Error("max cell not full red")
+	}
+	if strings.Count(out, "rgb(255,255,255)") != 2 {
+		t.Error("zero/negative cells not white")
+	}
+	// Cells this large carry value labels.
+	if !strings.Contains(out, ">10.0</text>") {
+		t.Error("value label missing")
+	}
+
+	// Degenerate inputs render an empty chart without panicking.
+	r2 := New("deg")
+	r2.AddHeatmap("bad", 3, 3, []float64{1, 2})
+	r2.AddHeatmap("empty", 0, 0, nil)
+	r2.AddHeatmap("all zero", 2, 1, []float64{0, 0})
+	if err := r2.WriteHTML(&bytes.Buffer{}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,184 @@
+package sensorarray
+
+import (
+	"testing"
+
+	"emtrust/internal/chip"
+	"emtrust/internal/emfield"
+	"emtrust/internal/layout"
+	"emtrust/internal/parallel"
+)
+
+// testFloorplan builds a synthetic placement view: the array only needs
+// the die outline and the tile grid, not real cell positions.
+func testFloorplan() *layout.Floorplan {
+	die := layout.Point{X: 1e-3, Y: 1e-3}
+	return &layout.Floorplan{
+		Die:  die,
+		Grid: &layout.TileGrid{NX: 16, NY: 16, Die: die},
+	}
+}
+
+func TestArrayGeometry(t *testing.T) {
+	fp := testFloorplan()
+	a, err := New(fp, Config{NX: 4, NY: 4, Turns: 3, Z: 5e-6, TileLoopArea: 25e-12, Quad: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NumCoils() != 16 || len(a.Coils) != 16 || len(a.Couplings) != 16 {
+		t.Fatalf("want 16 coils, got %d/%d/%d", a.NumCoils(), len(a.Coils), len(a.Couplings))
+	}
+	// Cell index round-trips through its own center, and the center lands
+	// in the expected grid cell.
+	for k := 0; k < a.NumCoils(); k++ {
+		if got := a.CellOf(a.CellCenter(k)); got != k {
+			t.Errorf("CellOf(CellCenter(%d)) = %d", k, got)
+		}
+	}
+	if c := a.CellCenter(0); c.X != 0.125e-3 || c.Y != 0.125e-3 {
+		t.Errorf("cell 0 center = %+v", c)
+	}
+	// Clamping: points off the die map to border cells.
+	if got := a.CellOf(layout.Point{X: -1, Y: -1}); got != 0 {
+		t.Errorf("CellOf(off-die SW) = %d", got)
+	}
+	if got := a.CellOf(layout.Point{X: 2e-3, Y: 2e-3}); got != 15 {
+		t.Errorf("CellOf(off-die NE) = %d", got)
+	}
+	// Neighbor counts: corner 3, edge 5, interior 8; all 8-connected.
+	if n := a.Neighbors(0); len(n) != 3 {
+		t.Errorf("corner neighbors = %v", n)
+	}
+	if n := a.Neighbors(1); len(n) != 5 {
+		t.Errorf("edge neighbors = %v", n)
+	}
+	if n := a.Neighbors(5); len(n) != 8 {
+		t.Errorf("interior neighbors = %v", n)
+	}
+	for _, n := range a.Neighbors(5) {
+		if a.CellDist(5, n) != 1 {
+			t.Errorf("neighbor %d of 5 at distance %d", n, a.CellDist(5, n))
+		}
+	}
+	if d := a.CellDist(0, 15); d != 3 {
+		t.Errorf("CellDist(corner, corner) = %d", d)
+	}
+}
+
+// TestOneByOneMatchesWholeDieSpiral pins that the 1×1 array degenerates
+// to the paper's whole-die spiral: identical turn geometry, hence (via
+// the coupling cache) identical couplings.
+func TestOneByOneMatchesWholeDieSpiral(t *testing.T) {
+	fp := testFloorplan()
+	cc := chip.DefaultConfig()
+	a, err := New(fp, ConfigFor(cc, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := emfield.OnChipSpiral(fp.Die, cc.SpiralTurns, cc.SpiralZ)
+	got := a.Coils[0]
+	if len(got.Loops) != len(want.Loops) {
+		t.Fatalf("1x1 coil has %d turns, whole-die spiral %d", len(got.Loops), len(want.Loops))
+	}
+	for i := range got.Loops {
+		if got.Loops[i].(emfield.RectLoop) != want.Loops[i].(emfield.RectLoop) {
+			t.Errorf("turn %d: got %+v want %+v", i, got.Loops[i], want.Loops[i])
+		}
+	}
+	if a.Neighbors(0) != nil {
+		t.Errorf("1x1 array has neighbors: %v", a.Neighbors(0))
+	}
+}
+
+func TestWindowsPartitionCoils(t *testing.T) {
+	fp := testFloorplan()
+	for _, tc := range []struct {
+		channels, windows int
+	}{
+		{0, 1}, {16, 1}, {99, 1}, {4, 4}, {5, 4}, {1, 16},
+	} {
+		a, err := New(fp, Config{NX: 4, NY: 4, Turns: 2, Z: 5e-6, Channels: tc.channels, TileLoopArea: 25e-12, Quad: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := a.Windows(); got != tc.windows {
+			t.Errorf("channels=%d: windows = %d, want %d", tc.channels, got, tc.windows)
+		}
+		// Every coil is digitized exactly once per frame.
+		seen := make(map[int]int)
+		for w := 0; w < a.Windows(); w++ {
+			coils := a.WindowCoils(w)
+			if len(coils) == 0 {
+				t.Errorf("channels=%d: window %d empty", tc.channels, w)
+			}
+			if tc.channels > 0 && tc.channels < 16 && len(coils) > tc.channels {
+				t.Errorf("channels=%d: window %d digitizes %d coils", tc.channels, w, len(coils))
+			}
+			for _, k := range coils {
+				seen[k]++
+			}
+		}
+		for k := 0; k < 16; k++ {
+			if seen[k] != 1 {
+				t.Errorf("channels=%d: coil %d digitized %d times", tc.channels, k, seen[k])
+			}
+		}
+	}
+}
+
+// TestScanFrameWorkerIndependence pins the acceptance requirement that
+// array capture runs through internal/parallel yet stays byte-identical
+// for any worker count: per-cell randomness derives from (seed, stream,
+// cell), never from schedule.
+func TestScanFrameWorkerIndependence(t *testing.T) {
+	cfg := chip.DefaultConfig()
+	cfg.WithTrojans = false
+	cfg.WithA2 = false
+	key := make([]byte, 16)
+	pt := make([]byte, 16)
+
+	capture := func(workers int) *Frame {
+		restore := parallel.SetMaxWorkers(workers)
+		defer restore()
+		c, err := chip.New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		acfg := ConfigFor(cfg, 2)
+		acfg.Channels = 2 // two mux windows per frame
+		a, err := New(c.Floorplan(), acfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f, err := a.ScanEncryption(c, DefaultChannel(), pt, key, 24)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return f
+	}
+
+	serial := capture(1)
+	wide := capture(4)
+	if serial.Windows != 2 {
+		t.Fatalf("frame has %d windows, want 2", serial.Windows)
+	}
+	for k := range serial.Traces {
+		if serial.Window[k] != wide.Window[k] {
+			t.Fatalf("cell %d window differs: %d vs %d", k, serial.Window[k], wide.Window[k])
+		}
+		ss, ws := serial.Traces[k].Samples, wide.Traces[k].Samples
+		if len(ss) != len(ws) {
+			t.Fatalf("cell %d trace length differs: %d vs %d", k, len(ss), len(ws))
+		}
+		for i := range ss {
+			if ss[i] != ws[i] {
+				t.Fatalf("cell %d sample %d differs between worker counts: %g vs %g", k, i, ss[i], ws[i])
+			}
+		}
+	}
+	// Coils in the same window share a chip activity window; coils in
+	// different windows generally do not (state skew is modeled).
+	if serial.Window[0] != 0 || serial.Window[3] != 1 {
+		t.Errorf("unexpected window assignment: %v", serial.Window)
+	}
+}
