@@ -60,4 +60,15 @@ END {
 }
 ' "$raw"
 
+# Headline number for the simulation engine: compiled event-driven vs
+# reference full-cone evaluator on the AES capture workload.
+awk '
+/^BenchmarkTick\/engine=compiled/  { comp = $3 }
+/^BenchmarkTick\/engine=reference/ { ref = $3 }
+END {
+    if (comp > 0 && ref > 0)
+        printf "compiled engine speedup over reference (BenchmarkTick): %.2fx (%d ns vs %d ns per cycle)\n", ref / comp, comp, ref
+}
+' "$raw"
+
 echo "wrote $out"

@@ -5,6 +5,7 @@
 // Usage:
 //
 //	emsim [-cycles n] [-trojan 0..4] [-a2] [-idle] [-spectrum] [-o dir]
+//	      [-cpuprofile f] [-memprofile f]
 package main
 
 import (
@@ -13,6 +14,8 @@ import (
 	"log"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"emtrust/internal/chip"
@@ -28,56 +31,95 @@ func main() {
 	spectrum := flag.Bool("spectrum", false, "also write one-sided amplitude spectra")
 	outDir := flag.String("o", ".", "output directory")
 	seed := flag.Int64("seed", 1, "random seed")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the capture to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile (after the capture) to this file")
 	flag.Parse()
 
-	cfg := chip.DefaultConfig()
-	cfg.Seed = *seed
-	c, err := chip.New(cfg)
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatal(err)
+		}
+	}
+	err := run(*cycles, *trojanID, *a2, *idle, *spectrum, *outDir, *seed)
+	if *cpuprofile != "" {
+		pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		runtime.GC() // materialize the retained heap
+		f, ferr := os.Create(*memprofile)
+		if ferr != nil {
+			log.Fatal(ferr)
+		}
+		if werr := pprof.WriteHeapProfile(f); werr != nil {
+			log.Fatal(werr)
+		}
+		f.Close()
+	}
 	if err != nil {
 		log.Fatal(err)
 	}
-	if err := c.DeactivateAll(); err != nil {
-		log.Fatal(err)
+}
+
+// run performs the capture and CSV writes, returning instead of exiting
+// so main can flush profiles on every path.
+func run(cycles int, trojanID int, a2, idle, spectrum bool, outDir string, seed int64) error {
+	cfg := chip.DefaultConfig()
+	cfg.Seed = seed
+	c, err := chip.New(cfg)
+	if err != nil {
+		return err
 	}
-	c.EnableA2(*a2)
-	if *trojanID != 0 {
-		k := trojan.Kind(*trojanID)
+	if err := c.DeactivateAll(); err != nil {
+		return err
+	}
+	c.EnableA2(a2)
+	if trojanID != 0 {
+		k := trojan.Kind(trojanID)
 		if err := c.SetTrojan(k, true); err != nil {
-			log.Fatal(err)
+			return err
 		}
 		log.Printf("activated %v: %s", k, k.Description())
 	}
-	if *a2 {
+	if a2 {
 		// Warm the charge pump so the capture shows the firing state.
 		if _, err := c.CaptureIdle(600); err != nil {
-			log.Fatal(err)
+			return err
 		}
 		log.Printf("A2 firing: %v (V=%.2f)", c.A2().Firing(), c.A2().Voltage())
 	}
 
 	var cap *chip.Capture
-	if *idle {
-		cap, err = c.CaptureIdle(*cycles)
+	if idle {
+		cap, err = c.CaptureIdle(cycles)
 	} else {
 		key := []byte{0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6, 0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf, 0x4f, 0x3c}
-		cap, err = c.Capture(key, *cycles)
+		cap, err = c.Capture(key, cycles)
 	}
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	sensor, probe := c.Acquire(cap, chip.MeasurementChannels())
 
-	write := func(name, content string) {
-		path := filepath.Join(*outDir, name)
+	write := func(name, content string) error {
+		path := filepath.Join(outDir, name)
 		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
-			log.Fatal(err)
+			return err
 		}
 		log.Printf("wrote %s", path)
+		return nil
 	}
-	write("sensor.csv", sensor.CSV())
-	write("probe.csv", probe.CSV())
+	if err := write("sensor.csv", sensor.CSV()); err != nil {
+		return err
+	}
+	if err := write("probe.csv", probe.CSV()); err != nil {
+		return err
+	}
 
-	if *spectrum {
+	if spectrum {
 		for name, tr := range map[string]*struct {
 			samples []float64
 			dt      float64
@@ -91,7 +133,10 @@ func main() {
 			for k, a := range s.Amplitude {
 				fmt.Fprintf(&sb, "%.6e,%.6e\n", s.Frequency(k), a)
 			}
-			write(name, sb.String())
+			if err := write(name, sb.String()); err != nil {
+				return err
+			}
 		}
 	}
+	return nil
 }

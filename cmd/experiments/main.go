@@ -2,18 +2,22 @@
 //
 // Usage:
 //
-//	experiments [-run id] [-scale f] [-seed n]
+//	experiments [-run id] [-scale f] [-seed n] [-cpuprofile f] [-memprofile f]
 //
 // where id is one of: all, table1, snr-sim, snr-measured, euclid-sim,
 // a2-spectrum, fig6-probe, fig6-sensor, fig6-spectra, layout. The scale
 // factor multiplies the trace counts (use >= 5 for smooth histograms;
-// the defaults favor quick runs).
+// the defaults favor quick runs). The -cpuprofile and -memprofile flags
+// write pprof profiles of the selected experiments, so performance work
+// can grab profiles of any workload without code edits.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"emtrust/internal/experiments"
@@ -52,6 +56,8 @@ func main() {
 	seed := flag.Int64("seed", 1, "random seed for chips and noise")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	htmlOut := flag.String("html", "", "also write an HTML report (tables + SVG figures) to this file")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the experiments to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile (after the experiments) to this file")
 	flag.Parse()
 
 	if *list {
@@ -61,12 +67,46 @@ func main() {
 		return
 	}
 
-	cfg := experiments.DefaultConfig().Scaled(*scale)
-	cfg.Chip.Seed = *seed
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	code := run(*runID, *scale, *seed, *htmlOut)
+	if *cpuprofile != "" {
+		pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		runtime.GC() // materialize the retained heap
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		f.Close()
+	}
+	os.Exit(code)
+}
+
+// run executes the selected experiments and returns the process exit
+// code, so main can flush profiles on every path.
+func run(runID string, scale float64, seed int64, htmlOut string) int {
+	cfg := experiments.DefaultConfig().Scaled(scale)
+	cfg.Chip.Seed = seed
 
 	ran := 0
 	for _, r := range runners() {
-		if *runID != "all" && *runID != r.id {
+		if runID != "all" && runID != r.id {
 			continue
 		}
 		ran++
@@ -74,29 +114,30 @@ func main() {
 		res, err := r.fn(cfg)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", r.id, err)
-			os.Exit(1)
+			return 1
 		}
 		fmt.Printf("=== %s — %s (%.1fs) ===\n%s\n", r.id, r.desc, time.Since(start).Seconds(), res)
 	}
 	if ran == 0 {
-		fmt.Fprintf(os.Stderr, "unknown experiment %q; use -list\n", *runID)
-		os.Exit(2)
+		fmt.Fprintf(os.Stderr, "unknown experiment %q; use -list\n", runID)
+		return 2
 	}
-	if *htmlOut != "" {
-		f, err := os.Create(*htmlOut)
+	if htmlOut != "" {
+		f, err := os.Create(htmlOut)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return 1
 		}
 		if err := experiments.WriteHTMLReport(cfg, f); err != nil {
 			f.Close()
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return 1
 		}
 		if err := f.Close(); err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return 1
 		}
-		fmt.Printf("wrote %s\n", *htmlOut)
+		fmt.Printf("wrote %s\n", htmlOut)
 	}
+	return 0
 }

@@ -54,6 +54,20 @@ type Config struct {
 	// Seed drives every stochastic element (plaintexts, noise) so
 	// experiments are reproducible.
 	Seed int64
+
+	// ReferenceSim selects logic's reference full-cone evaluator instead
+	// of the default compiled event-driven engine. Both produce
+	// bit-identical captures (pinned by the differential tests); the
+	// reference engine exists as ground truth and for benchmarking.
+	ReferenceSim bool
+}
+
+// simOptions translates the config into logic.New options.
+func (cfg Config) simOptions() []logic.Option {
+	if cfg.ReferenceSim {
+		return []logic.Option{logic.WithReferenceEngine()}
+	}
+	return nil
 }
 
 // DefaultConfig returns the experiment configuration: 12 MHz clock,
@@ -128,7 +142,7 @@ func New(cfg Config) (*Chip, error) {
 		}
 	}
 	n := b.Build()
-	sim, err := logic.New(n)
+	sim, err := logic.New(n, cfg.simOptions()...)
 	if err != nil {
 		return nil, err
 	}
@@ -349,8 +363,11 @@ func (c *Chip) CapturePT(pt, key []byte, cycles int) (*Capture, error) {
 	}
 	s := c.sim
 	c.rec.Begin(cycles)
-	s.OnToggle = c.rec.OnToggle
-	defer func() { s.OnToggle = nil }()
+	// Batched toggle accounting: the engine accumulates toggle events per
+	// cycle and tick() drains them into the recorder in occurrence order,
+	// keeping rec.Currents() bit-identical to per-callback recording.
+	s.BatchToggles(true)
+	defer s.BatchToggles(false)
 
 	// Cycle 0: idle lead-in.
 	if err := c.tick(); err != nil {
@@ -394,8 +411,8 @@ func (c *Chip) CapturePT(pt, key []byte, cycles int) (*Capture, error) {
 // encryption"). Only the clock tree and any active Trojans draw current.
 func (c *Chip) CaptureIdle(cycles int) (*Capture, error) {
 	c.rec.Begin(cycles)
-	c.sim.OnToggle = c.rec.OnToggle
-	defer func() { c.sim.OnToggle = nil }()
+	c.sim.BatchToggles(true)
+	defer c.sim.BatchToggles(false)
 	for i := 0; i < cycles; i++ {
 		if err := c.tick(); err != nil {
 			return nil, err
@@ -415,6 +432,9 @@ func (c *Chip) CaptureIdle(cycles int) (*Capture, error) {
 // then the analog hooks, then the waveform flush.
 func (c *Chip) tick() error {
 	c.sim.Tick()
+	// Drain the cycle's batched toggles (including any from inter-tick
+	// Settle calls) into the recorder before the cycle flushes.
+	c.rec.DrainToggles(c.sim.TakeToggles())
 	// T2 crowbar leakage: static current while active and the head bit
 	// of the leakage shift register is low.
 	if inst, ok := c.trojans[trojan.T2LeakageCurrent]; ok {
@@ -445,7 +465,7 @@ func (c *Chip) WithStuckAt(net netlist.Net, value bool) (*Chip, error) {
 	if err != nil {
 		return nil, err
 	}
-	sim, err := logic.New(mutated)
+	sim, err := logic.New(mutated, c.cfg.simOptions()...)
 	if err != nil {
 		return nil, err
 	}

@@ -450,3 +450,110 @@ func TestChannelsAcquireDeterministic(t *testing.T) {
 		t.Error("different indices produced identical noise")
 	}
 }
+
+// TestCompiledMatchesReferenceCaptures pins the perf-critical contract
+// of the compiled event-driven simulator at the chip level: every
+// capture output — sensor and probe waveforms and the per-tile current
+// matrix — must be bit-identical to the reference full-cone evaluator,
+// across encryption captures, idle captures, active Trojans, the A2
+// analog path, and a stuck-at mutant.
+func TestCompiledMatchesReferenceCaptures(t *testing.T) {
+	cfg := DefaultConfig()
+	compiled, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.ReferenceSim = true
+	reference, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	compare := func(step string, a, b *Capture) {
+		t.Helper()
+		if len(a.Sensor) != len(b.Sensor) {
+			t.Fatalf("%s: capture lengths differ", step)
+		}
+		for i := range a.Sensor {
+			if a.Sensor[i] != b.Sensor[i] {
+				t.Fatalf("%s: sensor sample %d: compiled %v != reference %v", step, i, a.Sensor[i], b.Sensor[i])
+			}
+			if a.Probe[i] != b.Probe[i] {
+				t.Fatalf("%s: probe sample %d: compiled %v != reference %v", step, i, a.Probe[i], b.Probe[i])
+			}
+		}
+		for tile := range a.Tiles {
+			for i := range a.Tiles[tile] {
+				if a.Tiles[tile][i] != b.Tiles[tile][i] {
+					t.Fatalf("%s: tile %d sample %d differs", step, tile, i)
+				}
+			}
+		}
+	}
+
+	run := func(step string, f func(c *Chip) (*Capture, error)) {
+		t.Helper()
+		ca, err := f(compiled)
+		if err != nil {
+			t.Fatalf("%s (compiled): %v", step, err)
+		}
+		// Copy: Tiles alias recorder buffers that the next capture reuses.
+		snap := &Capture{
+			Sensor: append([]float64(nil), ca.Sensor...),
+			Probe:  append([]float64(nil), ca.Probe...),
+			Tiles:  make([][]float64, len(ca.Tiles)),
+		}
+		for i, w := range ca.Tiles {
+			snap.Tiles[i] = append([]float64(nil), w...)
+		}
+		cb, err := f(reference)
+		if err != nil {
+			t.Fatalf("%s (reference): %v", step, err)
+		}
+		compare(step, snap, cb)
+	}
+
+	pt := make([]byte, 16)
+	run("encrypt", func(c *Chip) (*Capture, error) { return c.CapturePT(pt, testKey, 16) })
+	run("idle", func(c *Chip) (*Capture, error) { return c.CaptureIdle(12) })
+
+	for _, c := range []*Chip{compiled, reference} {
+		if err := c.SetTrojan(trojan.T1AMLeaker, true); err != nil {
+			t.Fatal(err)
+		}
+		c.EnableA2(true)
+	}
+	run("trojan+a2", func(c *Chip) (*Capture, error) { return c.CapturePT(pt, testKey, 16) })
+
+	// Snapshot/restore replay must stay identical across engines too.
+	snapC, snapR := compiled.Snapshot(), reference.Snapshot()
+	run("pre-restore", func(c *Chip) (*Capture, error) { return c.CapturePT(pt, testKey, 16) })
+	compiled.Restore(snapC)
+	reference.Restore(snapR)
+	run("post-restore", func(c *Chip) (*Capture, error) { return c.CapturePT(pt, testKey, 16) })
+
+	// Stuck-at mutants rebuild the simulator; the engines must agree there.
+	target := compiled.Netlist().Cells[100].Output
+	saC, err := compiled.WithStuckAt(target, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	saR, err := reference.WithStuckAt(target, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	capC, err := saC.CapturePT(pt, testKey, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := &Capture{Sensor: append([]float64(nil), capC.Sensor...), Probe: append([]float64(nil), capC.Probe...)}
+	capR, err := saR.CapturePT(pt, testKey, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range snap.Sensor {
+		if snap.Sensor[i] != capR.Sensor[i] || snap.Probe[i] != capR.Probe[i] {
+			t.Fatalf("stuck-at: sample %d differs between engines", i)
+		}
+	}
+}

@@ -1,8 +1,12 @@
 // Package logic implements a levelized two-value synchronous simulator for
-// gate-level netlists. It evaluates the full combinational cone once per
-// clock cycle in topological order (glitch-free zero-delay semantics) and
-// reports every output toggle to an optional callback, which the power
-// model turns into switching current.
+// gate-level netlists. Two engines share one semantics: the reference
+// evaluator sweeps the full combinational cone once per clock cycle in
+// topological order (glitch-free zero-delay semantics), and the default
+// compiled engine (see compiled.go) evaluates the same cone
+// event-driven — only cells whose inputs changed — with bit-identical
+// net values and toggle streams. Every output toggle is reported either
+// through an optional callback or, batched, through TakeToggles; the
+// power model turns the reports into switching current.
 package logic
 
 import (
@@ -21,17 +25,67 @@ type Simulator struct {
 	newQ   []uint8 // scratch for two-phase flip-flop update
 	cycle  int
 
+	// Compiled event-driven engine (nil when the reference evaluator
+	// was selected). dirty is a per-rank scheduling bitset; minW/maxW
+	// bound the occupied words (minW > maxW means empty). ov caches
+	// each combinational cell's output value indexed by rank (invariant
+	// ov[r] == values[out(r)]) so the settle scan compares against a
+	// near-sequential load instead of a random net access.
+	prog       *program
+	dirty      []uint64
+	ov         []uint8
+	minW, maxW int
+
+	// Batched toggle accounting (see BatchToggles/TakeToggles). When
+	// batch is set, toggles are appended to events instead of invoking
+	// OnToggle.
+	batch  bool
+	events []ToggleEvent
+
 	// OnToggle, when non-nil, is invoked for every cell output toggle
 	// with the cell index and the new output value's direction
 	// (rise=true for a 0->1 transition). Flip-flop toggles fire at the
 	// clock edge, combinational toggles during settling; both belong to
-	// the cycle reported by Cycle() at callback time.
+	// the cycle reported by Cycle() at callback time. While batched
+	// accounting is enabled (BatchToggles), the callback is not invoked.
 	OnToggle func(cell int, rise bool)
 }
 
+// Option configures a Simulator at construction time.
+type Option func(*simOptions)
+
+type simOptions struct {
+	reference bool
+}
+
+// WithReferenceEngine selects the straight-line full-cone evaluator
+// instead of the default compiled event-driven engine. The two engines
+// produce bit-identical net values and toggle streams (pinned by the
+// differential tests); the reference engine exists as the semantic
+// ground truth and for performance comparison.
+func WithReferenceEngine() Option {
+	return func(o *simOptions) { o.reference = true }
+}
+
+// ToggleEvent packs one output toggle reported by batched accounting:
+// the toggling cell's index in bits 1.. and the new output value in
+// bit 0 (1 for a rising edge).
+type ToggleEvent int32
+
+// Cell returns the index of the toggling cell.
+func (e ToggleEvent) Cell() int { return int(e >> 1) }
+
+// Rise reports whether the toggle was a 0->1 transition.
+func (e ToggleEvent) Rise() bool { return e&1 != 0 }
+
 // New builds a simulator for n. It fails if the combinational logic
-// contains a cycle (through non-sequential cells).
-func New(n *netlist.Netlist) (*Simulator, error) {
+// contains a cycle (through non-sequential cells). By default the
+// compiled event-driven engine is used; see WithReferenceEngine.
+func New(n *netlist.Netlist, opts ...Option) (*Simulator, error) {
+	var o simOptions
+	for _, opt := range opts {
+		opt(&o)
+	}
 	s := &Simulator{
 		n:      n,
 		values: make([]uint8, n.NumNets()),
@@ -47,9 +101,25 @@ func New(n *netlist.Netlist) (*Simulator, error) {
 		return nil, err
 	}
 	s.order = order
+	if !o.reference {
+		// compile returns nil for designs whose net indices do not fit
+		// the packed instruction word; those fall back to the reference
+		// evaluator transparently.
+		s.prog = compile(n, order, s.seq)
+	}
+	if s.prog != nil {
+		s.dirty = make([]uint64, s.prog.nwords)
+		s.ov = make([]uint8, len(order))
+		s.minW, s.maxW = len(s.dirty), -1
+		s.markAll()
+	}
 	s.settle() // establish consistent all-zero-input state
 	return s, nil
 }
+
+// Compiled reports whether the simulator runs the compiled event-driven
+// engine (as opposed to the reference evaluator).
+func (s *Simulator) Compiled() bool { return s.prog != nil }
 
 // levelize returns the combinational cells of n in topological order using
 // Kahn's algorithm. Sequential cell outputs and primary inputs are
@@ -100,37 +170,90 @@ func levelize(n *netlist.Netlist) ([]int, error) {
 // Netlist returns the design under simulation.
 func (s *Simulator) Netlist() *netlist.Netlist { return s.n }
 
-// State is an opaque copy of a simulator's mutable state (net values and
-// cycle counter). It lets capture engines roll a simulator back to a
+// BatchToggles switches toggle reporting into batched accounting: the
+// engine appends every toggle to an internal flat buffer instead of
+// invoking OnToggle per event, and TakeToggles drains the buffer. The
+// event order is exactly the OnToggle invocation order, so an
+// order-preserving consumer (power.Recorder.DrainToggles) reproduces the
+// per-callback results bit-identically while paying one call per cycle
+// instead of one per toggle. Turning batching off discards any pending
+// events.
+func (s *Simulator) BatchToggles(on bool) {
+	s.batch = on
+	if !on {
+		s.events = s.events[:0]
+	}
+}
+
+// TakeToggles returns the toggle events accumulated since the last call
+// (in occurrence order) and resets the buffer. The returned slice
+// aliases the simulator's internal buffer: it is valid only until the
+// next Tick, Settle or port write, so consumers must drain it
+// immediately.
+func (s *Simulator) TakeToggles() []ToggleEvent {
+	ev := s.events
+	s.events = s.events[:0]
+	return ev
+}
+
+// State is an opaque copy of a simulator's mutable state (net values,
+// cycle counter and, for the compiled engine, pending evaluation
+// scheduling). It lets capture engines roll a simulator back to a
 // known point without re-settling or losing input-port values the way
 // Reset would.
 type State struct {
-	values []uint8
-	cycle  int
+	values     []uint8
+	cycle      int
+	dirty      []uint64 // nil when taken from the reference engine
+	minW, maxW int
 }
 
 // State snapshots the simulator's current net values and cycle counter.
 func (s *Simulator) State() *State {
 	v := make([]uint8, len(s.values))
 	copy(v, s.values)
-	return &State{values: v, cycle: s.cycle}
+	st := &State{values: v, cycle: s.cycle}
+	if s.prog != nil {
+		st.dirty = append([]uint64(nil), s.dirty...)
+		st.minW, st.maxW = s.minW, s.maxW
+	}
+	return st
 }
 
 // SetState restores a snapshot taken with State. The snapshot must come
 // from a simulator of the same netlist; a length mismatch is a
-// programming error and panics.
+// programming error and panics. Restoring a reference-engine snapshot
+// into a compiled simulator schedules a full re-evaluation pass, which
+// keeps semantics exact at the cost of one full sweep on the next
+// settle.
 func (s *Simulator) SetState(st *State) {
 	if len(st.values) != len(s.values) {
 		panic(fmt.Sprintf("logic: state of %d nets restored into simulator of %d nets", len(st.values), len(s.values)))
 	}
 	copy(s.values, st.values)
 	s.cycle = st.cycle
+	if s.prog != nil {
+		s.syncOV()
+		if st.dirty != nil {
+			copy(s.dirty, st.dirty)
+			s.minW, s.maxW = st.minW, st.maxW
+		} else {
+			s.markAll()
+		}
+	}
 }
 
 // Fork returns an independent simulator over the same netlist, starting
-// from s's current state. The immutable levelization (topological order
-// and sequential-cell list) is shared with s; values and scratch buffers
-// are copied, so the fork can run on another goroutine.
+// from s's current state. The immutable compiled program and
+// levelization (topological order and sequential-cell list) are shared
+// with s; values and scratch buffers are copied, so the fork can run on
+// another goroutine.
+//
+// Fork intentionally does NOT copy the OnToggle callback or the batched
+// toggle mode: a closure captured for one simulator (e.g. a
+// power.Recorder bound to another chip) would silently misattribute the
+// fork's activity. The fork starts with nil OnToggle and batching off;
+// callers that want the fork's toggles must attach their own sink.
 func (s *Simulator) Fork() *Simulator {
 	f := &Simulator{
 		n:      s.n,
@@ -139,8 +262,14 @@ func (s *Simulator) Fork() *Simulator {
 		seq:    s.seq,
 		newQ:   make([]uint8, len(s.seq)),
 		cycle:  s.cycle,
+		prog:   s.prog,
 	}
 	copy(f.values, s.values)
+	if s.prog != nil {
+		f.dirty = append([]uint64(nil), s.dirty...)
+		f.ov = append([]uint8(nil), s.ov...)
+		f.minW, f.maxW = s.minW, s.maxW
+	}
 	return f
 }
 
@@ -148,20 +277,41 @@ func (s *Simulator) Fork() *Simulator {
 func (s *Simulator) Cycle() int { return s.cycle }
 
 // Reset zeroes all state and re-settles the combinational logic. Toggle
-// callbacks are suppressed during reset.
+// callbacks are suppressed during reset and pending batched events are
+// discarded.
 func (s *Simulator) Reset() {
 	for i := range s.values {
 		s.values[i] = 0
 	}
 	s.cycle = 0
-	saved := s.OnToggle
-	s.OnToggle = nil
+	s.events = s.events[:0]
+	saved, savedBatch := s.OnToggle, s.batch
+	s.OnToggle, s.batch = nil, false
+	if s.prog != nil {
+		s.syncOV()
+		s.markAll()
+	}
 	s.settle()
-	s.OnToggle = saved
+	s.OnToggle, s.batch = saved, savedBatch
 }
 
 // Net returns the current value (0 or 1) of a net.
 func (s *Simulator) Net(n netlist.Net) uint8 { return s.values[n] }
+
+// setNet drives one net and, under the compiled engine, schedules its
+// combinational readers when the value actually changed.
+func (s *Simulator) setNet(n netlist.Net, v uint8) {
+	if s.values[n] == v {
+		return
+	}
+	s.values[n] = v
+	if s.prog != nil {
+		if r := s.prog.netRank[n]; r >= 0 {
+			s.ov[r] = v
+		}
+		s.markFanout(int32(n))
+	}
+}
 
 // SetPortBits drives a named input port with the given bit values
 // (LSB first). The slice length must match the port width.
@@ -175,9 +325,9 @@ func (s *Simulator) SetPortBits(name string, bits []uint8) error {
 	}
 	for i, b := range bits {
 		if b != 0 {
-			s.values[p.Nets[i]] = 1
+			s.setNet(p.Nets[i], 1)
 		} else {
-			s.values[p.Nets[i]] = 0
+			s.setNet(p.Nets[i], 0)
 		}
 	}
 	return nil
@@ -192,9 +342,9 @@ func (s *Simulator) SetPortUint(name string, v uint64) error {
 	}
 	for i, net := range p.Nets {
 		if i < 64 && v>>uint(i)&1 == 1 {
-			s.values[net] = 1
+			s.setNet(net, 1)
 		} else {
-			s.values[net] = 0
+			s.setNet(net, 0)
 		}
 	}
 	return nil
@@ -245,6 +395,10 @@ func (s *Simulator) Settle() { s.settle() }
 // last Tick.
 func (s *Simulator) Tick() {
 	s.cycle++
+	if s.prog != nil {
+		s.tickCompiled()
+		return
+	}
 	// Phase 1: sample every D/enable before writing any Q so that
 	// flip-flop chains shift correctly.
 	for k, ci := range s.seq {
@@ -267,7 +421,9 @@ func (s *Simulator) Tick() {
 		nv := s.newQ[k]
 		if nv != old {
 			s.values[out] = nv
-			if s.OnToggle != nil {
+			if s.batch {
+				s.events = append(s.events, ToggleEvent(ci)<<1|ToggleEvent(nv))
+			} else if s.OnToggle != nil {
 				s.OnToggle(ci, nv == 1)
 			}
 		}
@@ -283,6 +439,10 @@ func (s *Simulator) Run(n int) {
 }
 
 func (s *Simulator) settle() {
+	if s.prog != nil {
+		s.settleCompiled()
+		return
+	}
 	v := s.values
 	for _, ci := range s.order {
 		c := &s.n.Cells[ci]
@@ -317,7 +477,9 @@ func (s *Simulator) settle() {
 		}
 		if old := v[c.Output]; nv != old {
 			v[c.Output] = nv
-			if s.OnToggle != nil {
+			if s.batch {
+				s.events = append(s.events, ToggleEvent(ci)<<1|ToggleEvent(nv))
+			} else if s.OnToggle != nil {
 				s.OnToggle(ci, nv == 1)
 			}
 		}

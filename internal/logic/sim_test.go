@@ -374,3 +374,238 @@ func TestStuckAtChangesFunction(t *testing.T) {
 		}
 	}
 }
+
+// engines runs a subtest under both the compiled and reference engine so
+// semantic tests pin both implementations.
+func engines(t *testing.T, f func(t *testing.T, opts ...Option)) {
+	t.Run("compiled", func(t *testing.T) { f(t) })
+	t.Run("reference", func(t *testing.T) { f(t, WithReferenceEngine()) })
+}
+
+// TestDFFEEnableToggleReporting exercises the DFFE enable path in both
+// engines: a disabled flip-flop must neither capture nor report a
+// toggle, an enabled one must do both, and the toggle must be reported
+// at the clock edge (Cycle() already advanced) rather than during
+// settling.
+func TestDFFEEnableToggleReporting(t *testing.T) {
+	engines(t, func(t *testing.T, opts ...Option) {
+		b := netlist.NewBuilder("dffe_tgl")
+		d := b.Input("d", 1)
+		en := b.Input("en", 1)
+		q := b.RegE(d[0], en[0])
+		inv := b.Not(q) // combinational fanout of the register
+		b.Output("q", []netlist.Net{q})
+		b.Output("nq", []netlist.Net{inv})
+		sim, err := New(b.Build(), opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		type ev struct {
+			cell  int
+			rise  bool
+			cycle int
+		}
+		var events []ev
+		sim.OnToggle = func(cell int, rise bool) {
+			events = append(events, ev{cell, rise, sim.Cycle()})
+		}
+		regCell := sim.Netlist().Driver(q)
+		invCell := sim.Netlist().Driver(inv)
+
+		// Enable low: D changes must not reach Q and no toggles fire at
+		// the edge (the inverter settled to 1 at New, before the hook).
+		sim.SetPortUint("d", 1)
+		sim.Tick()
+		if v, _ := sim.PortUint("q"); v != 0 {
+			t.Fatal("DFFE captured with enable low")
+		}
+		for _, e := range events {
+			if e.cell == regCell {
+				t.Fatalf("disabled DFFE reported a toggle: %+v", e)
+			}
+		}
+		events = events[:0]
+
+		// Enable high: Q rises at the edge of cycle 2 and the inverter
+		// falls during the same cycle's settling.
+		sim.SetPortUint("en", 1)
+		sim.Tick()
+		if v, _ := sim.PortUint("q"); v != 1 {
+			t.Fatal("DFFE did not capture with enable high")
+		}
+		want := []ev{{regCell, true, 2}, {invCell, false, 2}}
+		if len(events) != len(want) {
+			t.Fatalf("events = %+v, want %+v", events, want)
+		}
+		for i := range want {
+			if events[i] != want[i] {
+				t.Fatalf("event %d = %+v, want %+v", i, events[i], want[i])
+			}
+		}
+		events = events[:0]
+
+		// Enable low again with D low: Q holds, no register toggle.
+		sim.SetPortUint("d", 0)
+		sim.SetPortUint("en", 0)
+		sim.Tick()
+		if v, _ := sim.PortUint("q"); v != 1 {
+			t.Fatal("DFFE did not hold with enable low")
+		}
+		if len(events) != 0 {
+			t.Fatalf("holding DFFE produced events %+v", events)
+		}
+	})
+}
+
+// TestMux2SelectToggles exercises the Mux2 select path: flipping the
+// select between unequal data legs toggles the output, flipping it
+// between equal legs must not, and toggles during an explicit Settle are
+// reported under the still-current cycle (settling, not a clock edge).
+func TestMux2SelectToggles(t *testing.T) {
+	engines(t, func(t *testing.T, opts ...Option) {
+		b := netlist.NewBuilder("mux_sel")
+		a := b.Input("a", 1)
+		c := b.Input("b", 1)
+		s := b.Input("s", 1)
+		m := b.Mux(a[0], c[0], s[0])
+		b.Output("y", []netlist.Net{m})
+		sim, err := New(b.Build(), opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		muxCell := sim.Netlist().Driver(m)
+		type ev struct {
+			cell  int
+			rise  bool
+			cycle int
+		}
+		var events []ev
+		sim.OnToggle = func(cell int, rise bool) {
+			events = append(events, ev{cell, rise, sim.Cycle()})
+		}
+
+		// a=1, b=0, s=0 -> y=1 (a leg): the mux rises during settling of
+		// cycle 0 (no Tick has happened).
+		sim.SetPortUint("a", 1)
+		sim.Settle()
+		if v, _ := sim.PortUint("y"); v != 1 {
+			t.Fatal("mux did not pass the a leg")
+		}
+		if len(events) != 1 || events[0] != (ev{muxCell, true, 0}) {
+			t.Fatalf("events = %+v, want mux rise in cycle 0", events)
+		}
+		events = events[:0]
+
+		// Select flips to the b leg (0): the output falls.
+		sim.SetPortUint("s", 1)
+		sim.Settle()
+		if v, _ := sim.PortUint("y"); v != 0 {
+			t.Fatal("mux did not switch to the b leg")
+		}
+		if len(events) != 1 || events[0].rise {
+			t.Fatalf("events = %+v, want a single fall", events)
+		}
+		events = events[:0]
+
+		// Equal legs: select flips must not toggle the output.
+		sim.SetPortUint("b", 1)
+		sim.Settle() // y: 0 -> 1 with the b leg now high
+		events = events[:0]
+		sim.SetPortUint("s", 0)
+		sim.Settle()
+		if v, _ := sim.PortUint("y"); v != 1 {
+			t.Fatal("mux output wrong after select flip between equal legs")
+		}
+		if len(events) != 0 {
+			t.Fatalf("select flip between equal legs toggled: %+v", events)
+		}
+	})
+}
+
+// TestForkDoesNotCopyOnToggle pins Simulator.Fork's intentional non-copy
+// of the toggle sink: a fork starts with no OnToggle callback and
+// batching off, so it records nothing until a caller attaches its own
+// sink. (A copied closure would silently misattribute the fork's
+// activity to the parent's recorder.)
+func TestForkDoesNotCopyOnToggle(t *testing.T) {
+	engines(t, func(t *testing.T, opts ...Option) {
+		b := netlist.NewBuilder("fork_tgl")
+		q := b.Counter(4, netlist.InvalidNet)
+		b.Output("q", q)
+		sim, err := New(b.Build(), opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		parentEvents := 0
+		sim.OnToggle = func(int, bool) { parentEvents++ }
+		sim.BatchToggles(false)
+
+		f := sim.Fork()
+		if f.OnToggle != nil {
+			t.Fatal("Fork copied the OnToggle callback")
+		}
+		before := parentEvents
+		f.Run(4)
+		if parentEvents != before {
+			t.Fatal("fork activity fired the parent's callback")
+		}
+		if got := len(f.TakeToggles()); got != 0 {
+			t.Fatalf("fork accumulated %d batched events without batching on", got)
+		}
+		// The fork still simulates correctly and can get its own sink.
+		forkEvents := 0
+		f.OnToggle = func(int, bool) { forkEvents++ }
+		f.Run(1)
+		if forkEvents == 0 {
+			t.Fatal("fork with its own callback recorded nothing")
+		}
+		if got, _ := f.PortUint("q"); got != 5 {
+			t.Fatalf("fork counter = %d, want 5", got)
+		}
+		// And the parent's callback still works.
+		sim.Run(1)
+		if parentEvents == 0 {
+			t.Fatal("parent callback lost after Fork")
+		}
+	})
+}
+
+// TestBatchTogglesMatchesCallback pins that batched accounting reports
+// exactly the callback stream: same cells, same directions, same order.
+func TestBatchTogglesMatchesCallback(t *testing.T) {
+	engines(t, func(t *testing.T, opts ...Option) {
+		b := netlist.NewBuilder("batch")
+		q := b.Counter(5, netlist.InvalidNet)
+		b.Output("q", q)
+		n := b.Build()
+		cb, err := New(n, opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bt, err := New(n, opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		type ev struct {
+			cell int
+			rise bool
+		}
+		var want []ev
+		cb.OnToggle = func(cell int, rise bool) { want = append(want, ev{cell, rise}) }
+		bt.BatchToggles(true)
+		for i := 0; i < 10; i++ {
+			cb.Tick()
+			bt.Tick()
+			got := bt.TakeToggles()
+			if len(got) != len(want) {
+				t.Fatalf("tick %d: %d batched vs %d callback events", i, len(got), len(want))
+			}
+			for k, e := range got {
+				if e.Cell() != want[k].cell || e.Rise() != want[k].rise {
+					t.Fatalf("tick %d event %d: (%d,%v) vs (%d,%v)", i, k, e.Cell(), e.Rise(), want[k].cell, want[k].rise)
+				}
+			}
+			want = want[:0]
+		}
+	})
+}

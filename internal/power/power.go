@@ -12,6 +12,7 @@ import (
 	"math/rand"
 
 	"emtrust/internal/layout"
+	"emtrust/internal/logic"
 )
 
 // Config sets the electrical and discretization parameters.
@@ -196,6 +197,19 @@ func (r *Recorder) Begin(numCycles int) {
 // switching charge at its tile for the current cycle.
 func (r *Recorder) OnToggle(cell int, _ bool) {
 	r.cycleCharge[r.grid.CellTile[cell]] += r.charge[cell]
+}
+
+// DrainToggles books a batch of toggle events (logic.Simulator.TakeToggles)
+// for the current cycle. It walks the batch in occurrence order, adding
+// each cell's charge exactly as the per-event OnToggle path would, so the
+// accumulated waveforms are bit-identical to per-callback recording while
+// paying one call per cycle instead of one per toggle.
+func (r *Recorder) DrainToggles(events []logic.ToggleEvent) {
+	cycleCharge, tile, charge := r.cycleCharge, r.grid.CellTile, r.charge
+	for _, e := range events {
+		cell := e.Cell()
+		cycleCharge[tile[cell]] += charge[cell]
+	}
 }
 
 // AddStaticCurrent injects a constant current (amps) at a tile for the

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"emtrust/internal/layout"
+	"emtrust/internal/logic"
 	"emtrust/internal/netlist"
 )
 
@@ -277,5 +278,55 @@ func TestProcessVariation(t *testing.T) {
 	// Variation is bounded: within ~50% of nominal at sigma 0.1.
 	if sampleA < nominal*0.5 || sampleA > nominal*1.5 {
 		t.Fatalf("variation unreasonable: %g vs %g", sampleA, nominal)
+	}
+}
+
+// TestDrainTogglesMatchesOnToggle pins the batched-accounting contract:
+// draining a toggle batch produces bit-identical waveforms to calling
+// OnToggle per event, because the drain walks the batch in occurrence
+// order performing the same float additions.
+func TestDrainTogglesMatchesOnToggle(t *testing.T) {
+	fp, n := smallPlan(t)
+	cfg := DefaultConfig()
+	recA, err := NewRecorder(cfg, fp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recB, err := NewRecorder(cfg, fp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A toggle sequence hitting the same cells repeatedly, in an order
+	// where float-add reordering would show up if the drain grouped or
+	// reordered events.
+	cells := []int{0, 3, 1, 0, 2, 0, 5, int(uint(len(n.Cells) - 1)), 1, 0}
+	recA.Begin(2)
+	recB.Begin(2)
+	for cycle := 0; cycle < 2; cycle++ {
+		var batch []logic.ToggleEvent
+		for i, cell := range cells {
+			rise := i%2 == 0
+			recA.OnToggle(cell, rise)
+			e := logic.ToggleEvent(cell) << 1
+			if rise {
+				e |= 1
+			}
+			batch = append(batch, e)
+		}
+		recB.DrainToggles(batch)
+		if err := recA.EndCycle(); err != nil {
+			t.Fatal(err)
+		}
+		if err := recB.EndCycle(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wa, wb := recA.Currents(), recB.Currents()
+	for tile := range wa {
+		for i := range wa[tile] {
+			if wa[tile][i] != wb[tile][i] {
+				t.Fatalf("tile %d sample %d: callback %v != drained %v", tile, i, wa[tile][i], wb[tile][i])
+			}
+		}
 	}
 }
