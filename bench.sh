@@ -71,4 +71,49 @@ END {
 }
 ' "$raw"
 
+# Compact per-benchmark speedup table against the previous snapshot,
+# when the output slots into the BENCH_<n>.json sequence.
+case "$out" in
+BENCH_*.json)
+    n="${out#BENCH_}"
+    n="${n%.json}"
+    prev=""
+    case "$n" in '' | *[!0-9]*) ;; *) [ "$n" -gt 1 ] && prev="BENCH_$((n - 1)).json" ;; esac
+    if [ -n "$prev" ] && [ -e "$prev" ]; then
+        echo ""
+        echo "== speedup vs $prev =="
+        awk -v prevfile="$prev" -v curfile="$out" '
+        function grab(file, map, order,   name, line, val, cnt) {
+            cnt = 0
+            while ((getline line < file) > 0) {
+                if (line ~ /"name":/) {
+                    name = line
+                    sub(/^.*"name": "/, "", name)
+                    sub(/".*$/, "", name)
+                    order[cnt++] = name
+                } else if (line ~ /"ns_per_op":/ && name != "") {
+                    val = line
+                    sub(/^.*"ns_per_op": /, "", val)
+                    sub(/,.*$/, "", val)
+                    map[name] = val + 0
+                    name = ""
+                }
+            }
+            close(file)
+            return cnt
+        }
+        BEGIN {
+            grab(prevfile, prevns, dummy)
+            n = grab(curfile, curns, order)
+            printf "%-52s %14s %14s %9s\n", "benchmark", "prev-ns/op", "ns/op", "speedup"
+            for (i = 0; i < n; i++) {
+                b = order[i]
+                if (!(b in prevns) || prevns[b] == 0 || curns[b] == 0) continue
+                printf "%-52s %14.0f %14.0f %8.2fx\n", b, prevns[b], curns[b], prevns[b] / curns[b]
+            }
+        }'
+    fi
+    ;;
+esac
+
 echo "wrote $out"

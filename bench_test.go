@@ -9,6 +9,7 @@ package emtrust_test
 import (
 	"fmt"
 	"math"
+	mathbits "math/bits"
 	"math/rand"
 	"testing"
 
@@ -593,6 +594,71 @@ func BenchmarkTick(b *testing.B) {
 			b.StopTimer()
 			if cycles > 0 {
 				b.ReportMetric(float64(toggles)/float64(cycles), "toggles/cycle")
+			}
+		})
+	}
+}
+
+// BenchmarkTickWide measures the bit-parallel engine on the same
+// 32-cycle capture-window workload as BenchmarkTick, sweeping how many
+// stimulus lanes one uint64 word carries. The lane-cycles/s metric is
+// the figure to compare against BenchmarkTick's inverse ns/op: a full
+// 64-lane word amortizes one word-parallel evaluation over 64
+// encryptions, so per-lane cost falls roughly with the lane count until
+// toggle extraction dominates.
+func BenchmarkTickWide(b *testing.B) {
+	const window = 32 // experiments.DefaultConfig().CaptureCycles
+	key := []byte{0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6, 0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf, 0x4f, 0x3c}
+	for _, lanes := range []int{1, 8, 16, 32, 64} {
+		b.Run(fmt.Sprintf("lanes=%d", lanes), func(b *testing.B) {
+			sim := aesBenchSim(b)
+			w, err := sim.Wide()
+			if err != nil {
+				b.Fatal(err)
+			}
+			sts := make([]*logic.State, lanes)
+			for l := range sts {
+				sts[l] = sim.State()
+			}
+			if err := w.LoadStates(sts); err != nil {
+				b.Fatal(err)
+			}
+			var toggles int
+			w.OnWideToggle = func(cell int32, diff, nv uint64) {
+				toggles += mathbits.OnesCount64(diff)
+			}
+			rng := rand.New(rand.NewSource(1))
+			laneBits := make([][]uint8, lanes)
+			for l := range laneBits {
+				laneBits[l] = make([]uint8, 128)
+			}
+			phase := 0
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				switch phase {
+				case 1:
+					for l := range laneBits {
+						for j := range laneBits[l] {
+							laneBits[l][j] = uint8(rng.Intn(2))
+						}
+					}
+					w.SetPortLanesBits(aes.PortPT, laneBits)
+					w.SetPortBitsAll(aes.PortKey, aes.BytesToBits(key))
+					w.SetPortUintAll(aes.PortStart, 1)
+					w.Settle()
+				case 2:
+					w.SetPortUintAll(aes.PortStart, 0)
+					w.Settle()
+				}
+				w.Tick()
+				if phase++; phase == window {
+					phase = 0
+				}
+			}
+			b.StopTimer()
+			if b.N > 0 {
+				b.ReportMetric(float64(b.N*lanes)*1e9/float64(b.Elapsed().Nanoseconds()), "lane-cycles/s")
+				b.ReportMetric(float64(toggles)/float64(b.N*lanes), "toggles/lane-cycle")
 			}
 		})
 	}

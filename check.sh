@@ -19,8 +19,8 @@ if [ -n "$unformatted" ]; then
     exit 1
 fi
 
-echo "== engine differential (compiled vs reference) =="
-go test -run 'Differential|CompiledVsReference' -count=1 ./internal/logic/...
+echo "== engine differential (wide vs compiled vs reference) =="
+go test -run 'Differential|CompiledVsReference|Wide' -count=1 ./internal/logic/...
 
 echo "== go test -race -shuffle=on =="
 go test -race -shuffle=on ./...

@@ -119,10 +119,84 @@ type Chip struct {
 	// It is a shared pointer so clones and stuck-at variants draw from the
 	// same sequence as the chip they derive from.
 	streams *atomic.Uint64
+
+	// Lazy batch-capture machinery (batch.go): the wide engine and its
+	// pooled per-lane recorders and analog-Trojan scratch. Private to this
+	// chip handle — Clone and WithStuckAt reset them.
+	wide *logic.WideState
+	recs []*power.Recorder
+	a2s  []analog.A2
+	a2on []bool
+
+	// Fixed-point capture memos: when a capture leaves the chip exactly
+	// where it started (a dormant chip under fixed stimulus), the next
+	// identical capture replays the memo instead of simulating.
+	memoPT   *captureMemo
+	memoIdle *captureMemo
 }
 
-// New builds, places and couples a chip.
+// captureMemo is one memoized fixed-point capture: the pre-state it
+// applies to (which, being a fixed point, is also its post-state), the
+// stimulus, and the stable result with deep-copied Tiles.
+type captureMemo struct {
+	pre     *logic.State
+	a2      analog.A2
+	a2On    bool
+	pt, key [16]byte
+	cycles  int
+	cap     *Capture
+}
+
+// matches reports whether the chip currently sits exactly on the memo's
+// fixed point with the same analog-Trojan state.
+func (m *captureMemo) matches(c *Chip, cycles int) bool {
+	if m == nil || m.cycles != cycles || m.a2On != c.a2Enabled {
+		return false
+	}
+	if c.a2 != nil && *c.a2 != m.a2 {
+		return false
+	}
+	return c.sim.State().ValuesEqual(m.pre)
+}
+
+// New builds, places and couples a chip. Builds are memoized
+// process-wide: chips whose configurations differ only in Seed share
+// one immutable structure (netlist, floorplan, coil couplings, compiled
+// program) and differ only in their private mutable state.
 func New(cfg Config) (*Chip, error) {
+	key := buildKey{cfg: cfg}
+	key.cfg.Seed = 0
+	b := lookupBuild(key)
+	if b == nil {
+		var err error
+		b, err = buildChip(cfg)
+		if err != nil {
+			return nil, err
+		}
+		storeBuild(key, b)
+	}
+	rec, err := power.NewRecorder(cfg.Power, b.fp)
+	if err != nil {
+		return nil, err
+	}
+	c := &Chip{
+		cfg: cfg, n: b.n, sim: b.template.Fork(), fp: b.fp, rec: rec, core: b.core,
+		sensor: b.sensor, probe: b.probe,
+		trojans: b.trojans,
+		t2Tile:  b.t2Tile,
+		rng:     rand.New(rand.NewSource(cfg.Seed)),
+		streams: new(atomic.Uint64),
+	}
+	if cfg.WithA2 {
+		c.a2 = analog.NewA2(cfg.A2)
+		c.a2Victim = b.a2Victim
+		c.a2Tile = b.a2Tile
+	}
+	return c, nil
+}
+
+// buildChip constructs the immutable part of a chip build.
+func buildChip(cfg Config) (*built, error) {
 	b := netlist.NewBuilder(chipName(cfg))
 	core := aes.Generate(b)
 
@@ -142,15 +216,11 @@ func New(cfg Config) (*Chip, error) {
 		}
 	}
 	n := b.Build()
-	sim, err := logic.New(n, cfg.simOptions()...)
+	template, err := logic.New(n, cfg.simOptions()...)
 	if err != nil {
 		return nil, err
 	}
 	fp, err := layout.Place(n, cfg.Layout)
-	if err != nil {
-		return nil, err
-	}
-	rec, err := power.NewRecorder(cfg.Power, fp)
 	if err != nil {
 		return nil, err
 	}
@@ -165,28 +235,25 @@ func New(cfg Config) (*Chip, error) {
 		return nil, err
 	}
 
-	c := &Chip{
-		cfg: cfg, n: n, sim: sim, fp: fp, rec: rec, core: core,
+	out := &built{
+		n: n, core: core, fp: fp,
 		sensor: sensor, probe: probe,
-		trojans: trojans,
-		rng:     rand.New(rand.NewSource(cfg.Seed)),
-		streams: new(atomic.Uint64),
+		trojans: trojans, template: template,
 	}
 	if inst, ok := trojans[trojan.T2LeakageCurrent]; ok {
 		// The crowbar pairs sit with the rest of the T2 block; use the
 		// leak wire's driver cell tile as the injection point.
-		c.t2Tile = fp.Grid.CellTile[n.Driver(inst.LeakWire)]
+		out.t2Tile = fp.Grid.CellTile[n.Driver(inst.LeakWire)]
 	}
 	if cfg.WithA2 {
-		c.a2 = analog.NewA2(cfg.A2)
 		p, ok := n.OutputPort("clkdiv")
 		if !ok {
 			return nil, fmt.Errorf("chip: clkdiv port missing")
 		}
-		c.a2Victim = p.Nets[0]
-		c.a2Tile = fp.Grid.CellTile[n.Driver(c.a2Victim)]
+		out.a2Victim = p.Nets[0]
+		out.a2Tile = fp.Grid.CellTile[n.Driver(out.a2Victim)]
 	}
-	return c, nil
+	return out, nil
 }
 
 func chipName(cfg Config) string {
@@ -301,7 +368,20 @@ func (c *Chip) Clone() (*Chip, error) {
 		out.a2 = &a2
 	}
 	out.rng = rand.New(rand.NewSource(c.cfg.Seed))
+	out.resetPrivate()
 	return &out, nil
+}
+
+// resetPrivate detaches the per-handle lazy machinery after a shallow
+// chip copy: the wide engine wraps the source's simulator, the pooled
+// recorders and memos belong to the source handle.
+func (c *Chip) resetPrivate() {
+	c.wide = nil
+	c.recs = nil
+	c.a2s = nil
+	c.a2on = nil
+	c.memoPT = nil
+	c.memoIdle = nil
 }
 
 // SetTrojan switches a digital Trojan's external trigger and advances one
@@ -357,10 +437,25 @@ func (c *Chip) Capture(key []byte, cycles int) (*Capture, error) {
 }
 
 // CapturePT is Capture with a caller-chosen plaintext.
+//
+// Fixed-point fast path: when the chip is dormant (no active Trojan
+// state machine evolving), a fixed-stimulus capture returns the chip to
+// exactly its pre-capture state; such a capture is memoized and every
+// later identical capture replays the memo (same *Capture, deep-copied
+// Tiles) while only advancing the cycle counter. Replay is gated on
+// exact state equality, so an active Trojan — whose state genuinely
+// evolves — never hits it.
 func (c *Chip) CapturePT(pt, key []byte, cycles int) (*Capture, error) {
 	if len(pt) != 16 || len(key) != 16 {
 		return nil, fmt.Errorf("chip: need 16-byte pt and key")
 	}
+	if m := c.memoPT; m.matches(c, cycles) &&
+		string(pt) == string(m.pt[:]) && string(key) == string(m.key[:]) {
+		c.sim.SetCycle(c.sim.Cycle() + cycles)
+		return m.cap, nil
+	}
+	pre := c.sim.State()
+	preA2, preOn := c.a2State()
 	s := c.sim
 	c.rec.Begin(cycles)
 	// Batched toggle accounting: the engine accumulates toggle events per
@@ -398,18 +493,32 @@ func (c *Chip) CapturePT(pt, key []byte, cycles int) (*Capture, error) {
 	}
 	currents := c.rec.Currents()
 	dt := c.rec.Dt()
-	return &Capture{
+	cap := &Capture{
 		Sensor: c.sensor.EMF(currents, dt),
 		Probe:  c.probe.EMF(currents, dt),
 		Dt:     dt,
 		Tiles:  currents,
-	}, nil
+		seq:    nextCaptureSeq(),
+	}
+	if m := c.tryMemo(pre, preA2, preOn, cycles, cap); m != nil {
+		copy(m.pt[:], pt)
+		copy(m.key[:], key)
+		c.memoPT = m
+		return m.cap, nil
+	}
+	return cap, nil
 }
 
 // CaptureIdle runs a capture with no encryption: the Section V-A noise
 // measurement ("the chip is powered up without executing the
 // encryption"). Only the clock tree and any active Trojans draw current.
 func (c *Chip) CaptureIdle(cycles int) (*Capture, error) {
+	if m := c.memoIdle; m.matches(c, cycles) {
+		c.sim.SetCycle(c.sim.Cycle() + cycles)
+		return m.cap, nil
+	}
+	pre := c.sim.State()
+	preA2, preOn := c.a2State()
 	c.rec.Begin(cycles)
 	c.sim.BatchToggles(true)
 	defer c.sim.BatchToggles(false)
@@ -420,12 +529,49 @@ func (c *Chip) CaptureIdle(cycles int) (*Capture, error) {
 	}
 	currents := c.rec.Currents()
 	dt := c.rec.Dt()
-	return &Capture{
+	cap := &Capture{
 		Sensor: c.sensor.EMF(currents, dt),
 		Probe:  c.probe.EMF(currents, dt),
 		Dt:     dt,
 		Tiles:  currents,
-	}, nil
+		seq:    nextCaptureSeq(),
+	}
+	if m := c.tryMemo(pre, preA2, preOn, cycles, cap); m != nil {
+		c.memoIdle = m
+		return m.cap, nil
+	}
+	return cap, nil
+}
+
+// a2State copies the analog Trojan's current state and armed flag.
+func (c *Chip) a2State() (analog.A2, bool) {
+	var a analog.A2
+	if c.a2 != nil {
+		a = *c.a2
+	}
+	return a, c.a2Enabled
+}
+
+// tryMemo builds a fixed-point memo when the capture that just finished
+// left the chip exactly where it started. The memoized capture deep-
+// copies Tiles (the live capture's alias the recorder's reusable
+// buffers) so the memo stays valid across later captures.
+func (c *Chip) tryMemo(pre *logic.State, preA2 analog.A2, preOn bool, cycles int, cap *Capture) *captureMemo {
+	if preOn != c.a2Enabled {
+		return nil
+	}
+	if c.a2 != nil && *c.a2 != preA2 {
+		return nil
+	}
+	if !c.sim.State().ValuesEqual(pre) {
+		return nil
+	}
+	tiles := make([][]float64, len(cap.Tiles))
+	for i, row := range cap.Tiles {
+		tiles[i] = append([]float64(nil), row...)
+	}
+	stable := &Capture{Sensor: cap.Sensor, Probe: cap.Probe, Dt: cap.Dt, Tiles: tiles, seq: cap.seq}
+	return &captureMemo{pre: pre, a2: preA2, a2On: preOn, cycles: cycles, cap: stable}
 }
 
 // tick advances one clock cycle inside a capture: gate-level simulation,
@@ -480,6 +626,7 @@ func (c *Chip) WithStuckAt(net netlist.Net, value bool) (*Chip, error) {
 	if c.a2 != nil {
 		out.a2 = analog.NewA2(c.cfg.A2)
 	}
+	out.resetPrivate()
 	return &out, nil
 }
 
@@ -514,7 +661,18 @@ type Capture struct {
 	// the same chip; consumers (like the ring-oscillator baseline)
 	// must read them immediately or copy.
 	Tiles [][]float64
+
+	// seq is a process-unique identity for result caching: equal seq
+	// means the same capture result (replays of a memoized or cached
+	// capture return the same *Capture and hence the same seq). Zero on
+	// captures predating the counter (zero-value Captures in tests).
+	seq uint64
 }
+
+// Seq returns the capture's process-unique identity; downstream caches
+// (like the sensor array's EMF synthesis cache) key on it instead of
+// the pointer, which could be reused after garbage collection.
+func (cap *Capture) Seq() uint64 { return cap.seq }
 
 // Channels bundles the two acquisition channels of an experiment. The
 // fields are interfaces so a degradation wrapper (internal/degrade) can

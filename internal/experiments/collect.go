@@ -116,23 +116,20 @@ func captureSet(c *chip.Chip, cfg Config, ch chip.Channels, n, cycles int) (*dua
 	if k > n {
 		k = n
 	}
-	if _, err := c.CapturePT(cfg.Plaintext, cfg.Key, cycles); err != nil { // warm-up, discarded
+	// Warm-up plus k serial captures of the evolving chip state, run as
+	// one chain: the state trajectory and waveforms are bit-identical to
+	// the old serial CapturePT loop, but steps the process-wide capture
+	// cache has seen replay without simulating — a dormant chip's fixed
+	// point collapses the whole chain to at most one simulation, and an
+	// active Trojan's orbit replays after its first traversal.
+	chain, err := c.CaptureChain(cfg.Plaintext, cfg.Key, cycles, k+1)
+	if err != nil {
 		return nil, err
 	}
-	// Only Sensor/Probe survive across captures (Tiles alias the
-	// recorder's buffers, clobbered by the next capture) — fine here,
-	// acquisition reads only the emf waveforms.
-	caps := make([]*chip.Capture, k)
-	for j := range caps {
-		cap, err := c.CapturePT(cfg.Plaintext, cfg.Key, cycles)
-		if err != nil {
-			return nil, err
-		}
-		caps[j] = cap
-	}
+	caps := chain[1:] // chain[0] is the warm-up, discarded
 	sensors := make([]*trace.Trace, n)
 	probes := make([]*trace.Trace, n)
-	err := parallel.For(n, func(i int) error {
+	err = parallel.For(n, func(i int) error {
 		sensors[i], probes[i] = ch.Acquire(caps[i%k], c.SplitRand(stream, uint64(i)))
 		return nil
 	})
@@ -149,18 +146,60 @@ func captureSet(c *chip.Chip, cfg Config, ch chip.Channels, n, cycles int) (*dua
 
 // captureRandomSet records n traces of encryptions of random plaintexts
 // (each drawn from the trace's private generator, so the plaintext
-// sequence is reproducible and order-independent).
+// sequence is reproducible and order-independent). All n encryptions
+// start from the same base snapshot, so they batch through the wide
+// engine: workers × lanes, each worker clone fanning up to BatchLanes
+// plaintexts through one bit-parallel simulation. Plaintexts are drawn
+// from each trace's generator before its acquisition noise, exactly as
+// the old one-capture-per-trace loop did, so the output is byte-
+// identical at any worker or lane count.
 func captureRandomSet(c *chip.Chip, key []byte, ch chip.Channels, n, cycles int) (*dualSet, error) {
+	if n <= 0 {
+		return &dualSet{}, nil
+	}
+	stream := c.NextStream()
+	base := c.Snapshot()
+	defer c.Restore(base)
+	rngs := make([]*rand.Rand, n)
+	pts := make([][]byte, n)
+	snaps := make([]*chip.Snapshot, n)
+	for i := range rngs {
+		rngs[i] = c.SplitRand(stream, uint64(i))
+		pt := make([]byte, 16)
+		rngs[i].Read(pt)
+		pts[i] = pt
+		snaps[i] = base
+	}
+	lanes := chip.BatchLanes()
+	chunks := (n + lanes - 1) / lanes
+	caps := make([]*chip.Capture, n)
+	err := parallel.Run(chunks,
+		func(w int) (*chip.Chip, error) {
+			if w == 0 {
+				return c, nil
+			}
+			return c.Clone()
+		},
+		func(w *chip.Chip, chunk int) error {
+			lo := chunk * lanes
+			hi := lo + lanes
+			if hi > n {
+				hi = n
+			}
+			got, err := w.CaptureBatchFrom(snaps[lo:hi], pts[lo:hi], key, cycles)
+			if err != nil {
+				return err
+			}
+			copy(caps[lo:hi], got)
+			return nil
+		})
+	if err != nil {
+		return nil, err
+	}
 	sensors := make([]*trace.Trace, n)
 	probes := make([]*trace.Trace, n)
-	err := captureEach(c, n, func(w *chip.Chip, i int, rng *rand.Rand) error {
-		pt := make([]byte, 16)
-		rng.Read(pt)
-		cap, err := w.CapturePT(pt, key, cycles)
-		if err != nil {
-			return err
-		}
-		sensors[i], probes[i] = ch.Acquire(cap, rng)
+	err = parallel.For(n, func(i int) error {
+		sensors[i], probes[i] = ch.Acquire(caps[i], rngs[i])
 		return nil
 	})
 	if err != nil {

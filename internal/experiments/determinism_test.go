@@ -78,6 +78,34 @@ func TestCaptureSetsDeterministicAcrossWorkerCounts(t *testing.T) {
 	}
 }
 
+// The wide engine adds a second schedule axis: how many lanes one
+// batched simulation packs into a word. Sets must be bit-identical
+// whether lanes run one at a time or 64 per word — including a partial
+// final word — at any worker count. The process-wide capture cache is
+// dropped before each run so every configuration actually simulates.
+func TestCaptureSetsDeterministicAcrossLaneCounts(t *testing.T) {
+	cfg := testConfig()
+
+	capture := func(workers, lanes int) (*dualSet, *dualSet, *dualSet) {
+		chip.ResetCaptureCache()
+		restoreW := parallel.SetMaxWorkers(workers)
+		defer restoreW()
+		restoreL := chip.SetBatchLanes(lanes)
+		defer restoreL()
+		return captureAllSets(t, cfg)
+	}
+
+	oneFixed, oneRandom, oneIdle := capture(1, 1)
+	for _, lanes := range []int{5, 64} {
+		for _, workers := range []int{1, 4} {
+			fixed, random, idle := capture(workers, lanes)
+			assertSetsEqual(t, "fixed", workers*1000+lanes, oneFixed, fixed)
+			assertSetsEqual(t, "random", workers*1000+lanes, oneRandom, random)
+			assertSetsEqual(t, "idle", workers*1000+lanes, oneIdle, idle)
+		}
+	}
+}
+
 // A full experiment driver must be worker-count independent too — this
 // catches any leftover shared-stream consumption in the rewired paths.
 func TestExperimentDeterministicAcrossWorkerCounts(t *testing.T) {

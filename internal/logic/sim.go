@@ -10,6 +10,7 @@
 package logic
 
 import (
+	"bytes"
 	"fmt"
 
 	"emtrust/internal/netlist"
@@ -219,6 +220,34 @@ func (s *Simulator) State() *State {
 	}
 	return st
 }
+
+// ValuesEqual reports whether two snapshots hold identical net values.
+// Cycle counters and scheduling metadata are ignored: two states that
+// agree on every net produce identical futures under identical stimulus
+// regardless of how their pending-evaluation sets differ, because
+// settling from either schedule converges to the same fixed point.
+func (st *State) ValuesEqual(other *State) bool {
+	return bytes.Equal(st.values, other.values)
+}
+
+// ValueHash returns a 64-bit FNV-1a hash of the net values. Replay
+// caches bucket snapshots by this hash before the exact ValuesEqual
+// check.
+func (st *State) ValueHash() uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	for _, v := range st.values {
+		h = (h ^ uint64(v)) * prime
+	}
+	return h
+}
+
+// SetCycle overrides the cycle counter. Replay caches use it to keep
+// Cycle() consistent when an entire capture is elided from a cache hit.
+func (s *Simulator) SetCycle(n int) { s.cycle = n }
 
 // SetState restores a snapshot taken with State. The snapshot must come
 // from a simulator of the same netlist; a length mismatch is a

@@ -75,6 +75,10 @@ type Recorder struct {
 	grid   *layout.TileGrid
 	charge []float64 // per-cell switching charge (indexed by cell)
 	ffTile []int     // flip-flop cell -> tile, for the clock tree model
+	// clockCharge is the per-tile clock-tree charge drawn every cycle
+	// (the ffTile walk pre-summed), so EndCycle pays one add per tile
+	// instead of one per flip-flop.
+	clockCharge []float64
 
 	pulse       []float64 // unit-charge pulse shape (amps at dt spacing)
 	cycleCharge []float64 // per-tile charge accumulated this cycle
@@ -132,6 +136,10 @@ func NewRecorder(cfg Config, fp *layout.Floorplan) (*Recorder, error) {
 	r.pulse = pulseShape(cfg)
 	r.cycleCharge = make([]float64, fp.Grid.NumTiles())
 	r.static = make([]float64, fp.Grid.NumTiles())
+	r.clockCharge = make([]float64, fp.Grid.NumTiles())
+	for _, tile := range r.ffTile {
+		r.clockCharge[tile] += cfg.ClockPinCharge
+	}
 	return r, nil
 }
 
@@ -237,13 +245,14 @@ func (r *Recorder) EndCycle() error {
 	}
 	s := r.cfg.SamplesPerCycle
 	base := r.cycle * s
-	// Clock tree: every flip-flop's clock pin draws charge each cycle.
-	for _, tile := range r.ffTile {
-		r.cycleCharge[tile] += r.cfg.ClockPinCharge
-	}
+	// Clock tree: every flip-flop's clock pin draws charge each cycle
+	// (pre-summed per tile in clockCharge), on top of the cycle's
+	// switching charge.
 	for tile, q := range r.cycleCharge {
+		if tq := q + r.clockCharge[tile]; tq != 0 {
+			r.deposit(tile, base, tq)
+		}
 		if q != 0 {
-			r.deposit(tile, base, q)
 			r.cycleCharge[tile] = 0
 		}
 	}

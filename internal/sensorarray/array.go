@@ -15,6 +15,7 @@ package sensorarray
 
 import (
 	"fmt"
+	"sync"
 
 	"emtrust/internal/chip"
 	"emtrust/internal/emfield"
@@ -77,7 +78,18 @@ type Array struct {
 	// the tile-grid convention (row 0 at the die bottom).
 	Coils     []*emfield.Coil
 	Couplings []*emfield.Coupling
+
+	// emfMu guards emfCache: per-capture-identity coil emf waveforms,
+	// keyed by Capture.Seq. Replayed captures (the chip memoizes
+	// fixed-point windows, so a dormant chip hands every mux window the
+	// same capture) skip the per-coil emf synthesis entirely. Synthesis
+	// is pure, so caching cannot change results.
+	emfMu    sync.Mutex
+	emfCache map[uint64][][]float64
 }
+
+// maxEMFCaptures bounds the emf cache; eviction is a wholesale drop.
+const maxEMFCaptures = 64
 
 // New builds the array coils over the floorplan and precomputes their
 // couplings. Coupling computation fans out over tiles through
