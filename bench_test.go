@@ -7,6 +7,7 @@
 package emtrust_test
 
 import (
+	"context"
 	"fmt"
 	"math"
 	mathbits "math/bits"
@@ -20,6 +21,7 @@ import (
 	"emtrust/internal/dsp"
 	"emtrust/internal/emfield"
 	"emtrust/internal/experiments"
+	"emtrust/internal/fleet"
 	"emtrust/internal/layout"
 	"emtrust/internal/logic"
 	"emtrust/internal/netlist"
@@ -661,6 +663,57 @@ func BenchmarkTickWide(b *testing.B) {
 				b.ReportMetric(float64(toggles)/float64(b.N*lanes), "toggles/lane-cycle")
 			}
 		})
+	}
+}
+
+// BenchmarkFleetThroughput measures the fleet service's monitored
+// verdict throughput at 1000 dies: enrollment (the per-die fingerprint
+// fitting that fleet.New runs) stays outside the timer, so the metric
+// is the steady-state rate of the sharded tick/queue/aggregate loop.
+// Each iteration also verifies the graceful-shutdown contract: the
+// queue drains and no service goroutine outlives Wait.
+func BenchmarkFleetThroughput(b *testing.B) {
+	cfg := benchConfig()
+	fc := fleet.DefaultConfig()
+	fc.Chip = cfg.Chip
+	fc.Key = cfg.Key
+	fc.Plaintext = cfg.Plaintext
+	fc.Seed = 1
+	fc.Dies = 1000
+	fc.Shards = 8
+	fc.Prevalence = 0.01
+	fc.Severity = 2
+	fc.Rounds = 4
+	fc.TickAverages = 2
+	fc.GoldenTraces = 8
+	fc.NullTraces = 12
+	fc.QueueSize = 1 << 12
+	fc.MinSamples = 2
+	var verdicts uint64
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		s, err := fleet.New(fc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		if err := s.Start(context.Background()); err != nil {
+			b.Fatal(err)
+		}
+		st := s.Wait()
+		b.StopTimer()
+		if st.QueueLen != 0 {
+			b.Fatalf("queue not drained: %d verdicts left", st.QueueLen)
+		}
+		if g := s.Goroutines(); g != 0 {
+			b.Fatalf("goroutine leak: %d still live after Wait", g)
+		}
+		verdicts += st.Verdicts
+		b.StartTimer()
+	}
+	b.StopTimer()
+	if sec := b.Elapsed().Seconds(); sec > 0 {
+		b.ReportMetric(float64(verdicts)/sec, "verdicts_per_s")
 	}
 }
 

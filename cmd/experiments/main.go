@@ -47,6 +47,7 @@ func runners() []runner {
 		{"faults", "Extension: stuck-at fault detectability (EM vs functional test)", func(c experiments.Config) (fmt.Stringer, error) { return experiments.Faults(c) }},
 		{"degradation", "Extension: acquisition-chain faults, naive vs hardened monitor", func(c experiments.Config) (fmt.Stringer, error) { return experiments.Degradation(c) }},
 		{"localization", "Extension: golden-model-free detection and localization with the sensor array", func(c experiments.Config) (fmt.Stringer, error) { return experiments.Localization(c) }},
+		{"fleet", "Extension: population-scale monitoring with FDR-controlled fleet alarms", func(c experiments.Config) (fmt.Stringer, error) { return experiments.Fleet(c) }},
 	}
 }
 

@@ -20,9 +20,18 @@
 // itself, then each frame's verdict names the hottest cell and die tile
 // (-channels bounds the ADC mux budget).
 //
+// With -fleet the single-die demo is replaced by the internal/fleet
+// service: a population of process-variation sibling dies monitored by
+// sharded workers behind a bounded verdict queue, with cross-die
+// common-mode cancellation and a Benjamini-Hochberg alarm list. The
+// service runs until -rounds, -duration, or SIGINT/SIGTERM, drains
+// in-flight verdicts, prints the fleet summary, and exits 0; -http
+// serves the live /status and /alarms JSON endpoints meanwhile.
+//
 // Usage:
 //
 //	trustmon [-traces n] [-golden n] [-cycles n] [-seed n] [-inject sev] [-save dir] [-load dir] [-array n [-channels k]]
+//	trustmon -fleet [-dies n] [-shards n] [-rounds n] [-duration d] [-prevalence f] [-severity f] [-http addr]
 package main
 
 import (
@@ -51,7 +60,23 @@ func main() {
 	inject := flag.Float64("inject", 0, "inject acquisition-chain faults at this severity (0 = healthy channel; 1-3 is a plausible aging sweep) and run the hardened monitor")
 	array := flag.Int("array", 0, "monitor with an NxN sensor array and the golden-model-free detector instead of the fingerprint (0 = off)")
 	channels := flag.Int("channels", 0, "ADC channel budget for -array: coils digitized per capture window (0 = all at once)")
+	fleetMode := flag.Bool("fleet", false, "run the fleet monitoring service instead of the single-die demo")
+	dies := flag.Int("dies", 64, "fleet population size (-fleet)")
+	shards := flag.Int("shards", 4, "fleet monitor workers (-fleet)")
+	rounds := flag.Int("rounds", 0, "fleet monitored rounds per die, 0 = until -duration or signal (-fleet)")
+	duration := flag.Duration("duration", 0, "fleet run deadline, 0 = none (-fleet)")
+	prevalence := flag.Float64("prevalence", 0.01, "fraction of fleet dies fabricated with the Trojan (-fleet)")
+	severity := flag.Float64("severity", 1, "fleet acquisition-chain aging severity (-fleet)")
+	httpAddr := flag.String("http", "", "serve fleet /status and /alarms on this address, e.g. :8080 (-fleet)")
 	flag.Parse()
+
+	if *fleetMode {
+		runFleet(fleetFlags{
+			dies: *dies, shards: *shards, rounds: *rounds, duration: *duration,
+			prevalence: *prevalence, severity: *severity, seed: *seed, httpAddr: *httpAddr,
+		})
+		return
+	}
 
 	key := []byte{0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6, 0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf, 0x4f, 0x3c}
 	pt := []byte{0x32, 0x43, 0xf6, 0xa8, 0x88, 0x5a, 0x30, 0x8d, 0x31, 0x31, 0x98, 0xa2, 0xe0, 0x37, 0x07, 0x34}

@@ -2,6 +2,7 @@ package chip
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"emtrust/internal/aes"
 	"emtrust/internal/analog"
@@ -55,10 +56,43 @@ var buildCache = struct {
 // configurations per process, so eviction is a wholesale drop.
 const maxBuilds = 8
 
+// Cache traffic counters. Monotonic over the process lifetime (resets
+// drop entries, not counters), so concurrent readers can difference
+// before/after snapshots without racing a zeroing write.
+var cacheStats struct {
+	buildHits, buildMisses     atomic.Uint64
+	captureHits, captureMisses atomic.Uint64
+}
+
+// CacheStats is a point-in-time snapshot of the replay caches' traffic.
+// A "miss" is a lookup that found no usable entry — including the
+// deliberate misses after a wholesale eviction — so hits+misses equals
+// the number of lookups, not the number of simulations.
+type CacheStats struct {
+	BuildHits, BuildMisses     uint64
+	CaptureHits, CaptureMisses uint64
+}
+
+// Stats returns the current process-wide cache counters.
+func Stats() CacheStats {
+	return CacheStats{
+		BuildHits:     cacheStats.buildHits.Load(),
+		BuildMisses:   cacheStats.buildMisses.Load(),
+		CaptureHits:   cacheStats.captureHits.Load(),
+		CaptureMisses: cacheStats.captureMisses.Load(),
+	}
+}
+
 func lookupBuild(key buildKey) *built {
 	buildCache.Lock()
 	defer buildCache.Unlock()
-	return buildCache.m[key]
+	b := buildCache.m[key]
+	if b != nil {
+		cacheStats.buildHits.Add(1)
+	} else {
+		cacheStats.buildMisses.Add(1)
+	}
+	return b
 }
 
 func storeBuild(key buildKey, b *built) {
@@ -118,9 +152,11 @@ func lookupCapture(key captureKey, pre *logic.State) *captureEntry {
 	defer captureCache.Unlock()
 	for _, e := range captureCache.m[key] {
 		if e.pre.ValuesEqual(pre) {
+			cacheStats.captureHits.Add(1)
 			return e
 		}
 	}
+	cacheStats.captureMisses.Add(1)
 	return nil
 }
 

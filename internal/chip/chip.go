@@ -278,6 +278,12 @@ func (c *Chip) A2() *analog.A2 { return c.a2 }
 // Trojan returns the instance of the given kind, or nil on a golden chip.
 func (c *Chip) Trojan(kind trojan.Kind) *trojan.Instance { return c.trojans[kind] }
 
+// SensorCoupling returns the on-chip spiral's precomputed per-tile
+// coupling. Consumers that re-weight tile currents (the fleet's
+// process-variation sibling synthesis) need the raw couplings, not just
+// the synthesized emf of a capture.
+func (c *Chip) SensorCoupling() *emfield.Coupling { return c.sensor }
+
 // Rand returns the chip's deterministic random stream (shared with the
 // acquisition channels so a whole experiment reproduces from one seed).
 // Loops that may be reordered or parallelized should derive a private

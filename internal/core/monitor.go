@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"sync"
 
-	"emtrust/internal/stats"
 	"emtrust/internal/trace"
 )
 
@@ -73,11 +72,10 @@ func (v Verdict) String() string {
 // stateful and run in the in-order emitter, so they see the stream
 // exactly as submitted regardless of worker count.
 type Monitor struct {
-	fp     *Fingerprint
-	sd     *SpectralDetector
-	health *ChannelHealth
-	db     *debouncer
-	rb     *rebaseliner
+	// ev is the verdict pipeline shared with the synchronous Evaluator:
+	// its stateless half runs in the worker pool, its stateful half in
+	// the in-order emitter.
+	ev *Evaluator
 
 	in      chan *trace.Trace
 	out     chan Verdict
@@ -124,17 +122,9 @@ func NewMonitorPool(fp *Fingerprint, sd *SpectralDetector, buffer, workers int) 
 // NewMonitorWith builds a monitor with explicit options (see
 // MonitorOptions; the zero value reproduces the paper's monitor).
 func NewMonitorWith(fp *Fingerprint, sd *SpectralDetector, opts MonitorOptions) (*Monitor, error) {
-	if fp == nil && sd == nil {
-		return nil, fmt.Errorf("core: monitor needs at least one detector")
-	}
-	if err := opts.Debounce.validate(); err != nil {
+	ev, err := NewEvaluator(fp, sd, opts)
+	if err != nil {
 		return nil, err
-	}
-	if err := opts.Rebaseline.validate(); err != nil {
-		return nil, err
-	}
-	if opts.Rebaseline.enabled() && fp == nil {
-		return nil, fmt.Errorf("core: re-baselining needs the time-domain fingerprint")
 	}
 	buffer := opts.Buffer
 	if buffer < 0 {
@@ -145,17 +135,9 @@ func NewMonitorWith(fp *Fingerprint, sd *SpectralDetector, opts MonitorOptions) 
 		workers = 1
 	}
 	m := &Monitor{
-		fp:     fp,
-		sd:     sd,
-		health: opts.Health,
-		in:     make(chan *trace.Trace, buffer),
-		out:    make(chan Verdict, buffer),
-	}
-	if opts.Debounce.enabled() {
-		m.db = newDebouncer(opts.Debounce)
-	}
-	if opts.Rebaseline.enabled() {
-		m.rb = &rebaseliner{alpha: opts.Rebaseline.Alpha}
+		ev:  ev,
+		in:  make(chan *trace.Trace, buffer),
+		out: make(chan Verdict, buffer),
 	}
 
 	// Dispatcher: stamps sequence numbers and registers each job with the
@@ -213,64 +195,12 @@ func NewMonitorWith(fp *Fingerprint, sd *SpectralDetector, opts MonitorOptions) 
 	return m, nil
 }
 
-// evaluate runs the stateless work on one trace: the health pre-check
-// and both detectors. With re-baselining enabled the time-domain
-// distance depends on emitter state, so only the projected score is
-// computed here.
-func (m *Monitor) evaluate(seq int, t *trace.Trace) eval {
-	e := eval{v: Verdict{Seq: seq, Confidence: 1}}
-	if m.health != nil {
-		e.v.Health = m.health.Check(t)
-		e.v.Confidence = m.health.Confidence(e.v.Health)
-		if e.v.Health.Rejected {
-			return e // no usable evidence; detectors skipped
-		}
-	}
-	if m.fp != nil {
-		if m.rb != nil {
-			e.score = m.fp.Project(t)
-		} else {
-			e.v.Time = m.fp.Evaluate(t)
-		}
-	}
-	if m.sd != nil {
-		e.v.Spectral = m.sd.Evaluate(t)
-	}
-	return e
-}
+// evaluate runs the stateless half of the pipeline in a pool worker;
+// finalize runs the stateful half (debounce, re-baselining) in the
+// in-order emitter. Both live on Evaluator.
+func (m *Monitor) evaluate(seq int, t *trace.Trace) eval { return m.ev.evaluate(seq, t) }
 
-// finalize applies the stateful hardening stages in submission order:
-// baseline-shifted distance, debounce window, and the guarded EWMA
-// update.
-func (m *Monitor) finalize(e eval) Verdict {
-	v := e.v
-	if v.Health.Rejected {
-		if m.db != nil {
-			v.Window = m.db.state() // window unchanged: no evidence either way
-		}
-		return v
-	}
-	if m.rb != nil && e.score != nil {
-		d := stats.MinDistanceToSet(m.rb.shift(e.score), m.fp.Golden)
-		v.Time = TimeVerdict{Distance: d, Threshold: m.fp.Threshold, Alarm: d > m.fp.Threshold}
-	}
-	raw := v.Time.Alarm || v.Spectral.Alarm
-	if m.db != nil {
-		v.Window = m.db.push(raw)
-	}
-	// Guarded re-baselining: adapt only on quiet traces (no raw alarm —
-	// an alarming trace never feeds the baseline, so a Trojan's own
-	// signature is never averaged in) and only while the debounce window
-	// holds no alarm evidence at all. A marginal Trojan fires on some
-	// traces and sits just under threshold on others; freezing on any
-	// window evidence keeps those sub-threshold activations out of the
-	// baseline too, instead of slowly averaging the Trojan in between
-	// its own alarms.
-	if m.rb != nil && e.score != nil && !raw && v.Window.Alarms == 0 {
-		m.rb.update(e.score, m.fp.Centroid)
-	}
-	return v
-}
+func (m *Monitor) finalize(e eval) Verdict { return m.ev.finalize(e) }
 
 // Submit queues a trace for evaluation. It blocks when the buffer is
 // full (backpressure instead of dropped traces).
@@ -305,13 +235,4 @@ func (m *Monitor) HardenedStats() (rejected, confirmed int) {
 // score space (nil when re-baselining is off or nothing has been
 // adapted yet). Its norm is the amount of slow drift the monitor has
 // absorbed instead of alarming on.
-func (m *Monitor) BaselineOffset() []float64 {
-	if m.rb == nil {
-		return nil
-	}
-	off := m.rb.snapshot()
-	if len(off) == 0 {
-		return nil
-	}
-	return off
-}
+func (m *Monitor) BaselineOffset() []float64 { return m.ev.BaselineOffset() }

@@ -1,0 +1,74 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestPopulationReferenceCancelsCommonMode(t *testing.T) {
+	// 200 clean dies riding a fleet-wide shift of +3 sigma, plus 3
+	// infected dies another +8 above that. Naive per-die thresholding
+	// at 3 sigma would flag the whole fleet; common-mode cancellation
+	// plus FDR ranking must flag exactly the infected ones.
+	rng := rand.New(rand.NewSource(7))
+	const clean, infected = 200, 3
+	scores := make([]float64, clean+infected)
+	for i := 0; i < clean; i++ {
+		scores[i] = 3 + rng.NormFloat64()
+	}
+	for i := clean; i < clean+infected; i++ {
+		scores[i] = 3 + 8 + rng.NormFloat64()
+	}
+	pr := NewPopulationReference(PopulationConfig{})
+	v := pr.Rank(scores, nil)
+	if math.Abs(v.CommonMode-3) > 0.5 {
+		t.Fatalf("common mode %g, want ~3", v.CommonMode)
+	}
+	for i := 0; i < clean; i++ {
+		if v.Flag[i] {
+			t.Fatalf("clean die %d flagged (score %g, adjusted %g, p %g)", i, scores[i], v.Adjusted[i], v.P[i])
+		}
+	}
+	for i := clean; i < clean+infected; i++ {
+		if !v.Flag[i] {
+			t.Fatalf("infected die %d not flagged (adjusted %g, p %g)", i, v.Adjusted[i], v.P[i])
+		}
+	}
+	if v.Eligible != clean+infected {
+		t.Fatalf("eligible %d, want %d", v.Eligible, clean+infected)
+	}
+}
+
+func TestPopulationReferenceEligibility(t *testing.T) {
+	pr := NewPopulationReference(PopulationConfig{MinCohort: 4, Sigma: 1, FDR: 0.05})
+	scores := []float64{0.1, -0.2, 0.05, 12, math.NaN(), math.Inf(1), 11}
+	eligible := []bool{true, true, true, true, true, true, false}
+	v := pr.Rank(scores, eligible)
+	// NaN/Inf and the explicitly excluded die are out of the family.
+	if v.Eligible != 4 {
+		t.Fatalf("eligible %d, want 4", v.Eligible)
+	}
+	for _, i := range []int{4, 5, 6} {
+		if v.Flag[i] || v.P[i] != 1 || !math.IsNaN(v.Adjusted[i]) {
+			t.Fatalf("ineligible die %d leaked into the family: flag=%v p=%g adj=%g", i, v.Flag[i], v.P[i], v.Adjusted[i])
+		}
+	}
+	if !v.Flag[3] {
+		t.Fatalf("outlier die 3 not flagged (p=%g)", v.P[3])
+	}
+}
+
+func TestPopulationReferenceSmallCohort(t *testing.T) {
+	// Below MinCohort there is no trustworthy median: the common mode
+	// stays 0 and a fleet-wide shift shows up raw.
+	pr := NewPopulationReference(PopulationConfig{MinCohort: 8})
+	scores := []float64{5, 5.1, 4.9}
+	v := pr.Rank(scores, nil)
+	if v.CommonMode != 0 {
+		t.Fatalf("common mode %g on a cohort of 3, want 0", v.CommonMode)
+	}
+	if v.Adjusted[0] != 5 {
+		t.Fatalf("adjusted %g, want raw score 5", v.Adjusted[0])
+	}
+}

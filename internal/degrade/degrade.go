@@ -16,6 +16,7 @@
 package degrade
 
 import (
+	"math"
 	"math/rand"
 	"sync/atomic"
 
@@ -288,11 +289,21 @@ type Profile struct {
 	OffsetDrift float64
 }
 
+// maxSeverity caps the severity knob. Fleet configs are arithmetic on
+// user input, so the profile must stay well-defined for any float64:
+// past this point every rate is already saturated and the rail is
+// essentially at zero, and an uncapped severity would push the drift
+// gains to overflow. The cap keeps every stage parameter finite, which
+// — with the clip rail applied last — keeps every output sample finite.
+const maxSeverity = 1e6
+
 // Stages materializes the profile into an ordered stage list: drift and
 // jitter act on the analog path, then glitches and bursts, then the ADC
-// rail clips last.
+// rail clips last. The severity knob is clamped: NaN, zero and negative
+// disable the chain entirely, +Inf and anything past maxSeverity clamp
+// to maxSeverity — so any float64 yields a deterministic, finite chain.
 func (p Profile) Stages() []Stage {
-	if p.Severity <= 0 {
+	if math.IsNaN(p.Severity) || p.Severity <= 0 {
 		return nil
 	}
 	span := p.Span
@@ -308,6 +319,9 @@ func (p Profile) Stages() []Stage {
 		offset = 0.25
 	}
 	sev := p.Severity
+	if sev > maxSeverity {
+		sev = maxSeverity
+	}
 	ref := p.RefRMS
 	peak := p.RefPeak
 	if peak <= 0 {

@@ -188,3 +188,43 @@ func TestProfileSeverityZeroIsPristine(t *testing.T) {
 		}
 	}
 }
+
+// TestProfileEdgeSeverities pins the profile's behavior across the full
+// float64 severity range: negative and NaN disable the chain like zero
+// does, while huge and infinite severities clamp — every stage
+// parameter stays finite, and the acquired samples stay finite and
+// deterministic. Fleet configs do arithmetic on user input, so Stages
+// must be total over float64, not just sensible inputs.
+func TestProfileEdgeSeverities(t *testing.T) {
+	for _, sev := range []float64{0, -1, -1e300, math.NaN()} {
+		if got := (Profile{Severity: sev, RefRMS: 1}).Stages(); got != nil {
+			t.Fatalf("severity %v must inject nothing, got %d stages", sev, len(got))
+		}
+	}
+	for _, sev := range []float64{1e-12, 3, 1e9, 1e300, math.Inf(1)} {
+		p := Profile{Severity: sev, RefRMS: 1, RefPeak: 5, Span: 10}
+		stages := p.Stages()
+		if len(stages) == 0 {
+			t.Fatalf("severity %v must inject stages", sev)
+		}
+		ch := Wrap(passthrough{}, stages...)
+		var prev *trace.Trace
+		for _, idx := range []int{0, 7, 100000} {
+			tr := ch.AcquireAt(idx, ramp(256), 1e-8, rand.New(rand.NewSource(9)))
+			for i, v := range tr.Samples {
+				if math.IsNaN(v) || math.IsInf(v, 0) {
+					t.Fatalf("severity %v index %d: sample %d = %v", sev, idx, i, v)
+				}
+			}
+			prev = tr
+		}
+		// Same (index, seed) must reproduce bit-identically.
+		again := ch.AcquireAt(100000, ramp(256), 1e-8, rand.New(rand.NewSource(9)))
+		for i := range again.Samples {
+			if again.Samples[i] != prev.Samples[i] {
+				t.Fatalf("severity %v: sample %d not deterministic: %v != %v",
+					sev, i, again.Samples[i], prev.Samples[i])
+			}
+		}
+	}
+}

@@ -386,3 +386,57 @@ func (cp *Coupling) EMFInto(dst []float64, currents [][]float64, dt float64) []f
 	}
 	return dst
 }
+
+// EMFWeightedInto is EMFInto with a per-tile current gain applied
+// during flux accumulation: tile t contributes gains[t]*M[t]*I_t. It is
+// the cheap way to synthesize the emf of a process-variation sibling
+// die from one shared gate-level capture — per-cell charge variation
+// averages out within a tile, so to first order a die differs from its
+// neighbor by per-tile current scale factors, and re-weighting the
+// accumulation reproduces that without re-simulating the logic. A nil
+// gains slice degrades to EMFInto; a short slice treats missing tiles
+// as gain 1.
+func (cp *Coupling) EMFWeightedInto(dst []float64, currents [][]float64, dt float64, gains []float64) []float64 {
+	if len(gains) == 0 {
+		return cp.EMFInto(dst, currents, dt)
+	}
+	if len(currents) != len(cp.M) {
+		panic(fmt.Sprintf("emfield: %d tile waveforms for %d couplings", len(currents), len(cp.M)))
+	}
+	if len(currents) == 0 {
+		return dst[:0]
+	}
+	n := len(currents[0])
+	if cap(dst) >= n {
+		dst = dst[:n]
+	} else {
+		dst = make([]float64, n)
+	}
+	for i := range dst {
+		dst[i] = 0
+	}
+	for t, w := range currents {
+		m := cp.M[t]
+		if t < len(gains) {
+			m *= gains[t]
+		}
+		if m == 0 || len(w) == 0 {
+			continue
+		}
+		if len(w) > n {
+			w = w[:n]
+		}
+		for i, v := range w {
+			dst[i] += m * v
+		}
+	}
+	for i := n - 1; i >= 1; i-- {
+		dst[i] = -(dst[i] - dst[i-1]) / dt
+	}
+	if n > 1 {
+		dst[0] = dst[1]
+	} else {
+		dst[0] = 0
+	}
+	return dst
+}

@@ -529,3 +529,78 @@ func TestQuadrantSpiralAreas(t *testing.T) {
 		t.Error("doubling turns did not grow the whole-die total area")
 	}
 }
+
+func TestEMFWeightedInto(t *testing.T) {
+	grid := buildGrid()
+	coil := OnChipSpiral(grid.Die, 4, 5e-6)
+	cp, err := NewCoupling(coil, grid, 25e-12, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	currents := make([][]float64, grid.NumTiles())
+	for i := range currents {
+		currents[i] = make([]float64, 32)
+		for s := range currents[i] {
+			currents[i][s] = float64((i+2)*s%11) * 1e-3
+		}
+	}
+	// Nil and all-ones gains must reproduce EMF exactly.
+	plain := cp.EMF(currents, 1e-9)
+	if got := cp.EMFWeightedInto(nil, currents, 1e-9, nil); !sliceEq(got, plain) {
+		t.Fatal("nil gains differ from EMF")
+	}
+	ones := make([]float64, len(cp.M))
+	for i := range ones {
+		ones[i] = 1
+	}
+	if got := cp.EMFWeightedInto(nil, currents, 1e-9, ones); !sliceEq(got, plain) {
+		t.Fatal("unit gains differ from EMF")
+	}
+	// A uniform gain scales the emf linearly.
+	uniform := make([]float64, len(cp.M))
+	for i := range uniform {
+		uniform[i] = 1.25
+	}
+	scaled := cp.EMFWeightedInto(nil, currents, 1e-9, uniform)
+	for i := range plain {
+		if diff := scaled[i] - 1.25*plain[i]; diff > 1e-18 || diff < -1e-18 {
+			t.Fatalf("sample %d: %g, want %g", i, scaled[i], 1.25*plain[i])
+		}
+	}
+	// Per-tile gains equal re-weighting the currents themselves.
+	gains := make([]float64, len(cp.M))
+	for i := range gains {
+		gains[i] = 0.8 + 0.05*float64(i%9)
+	}
+	reweighted := make([][]float64, len(currents))
+	for i, w := range currents {
+		reweighted[i] = make([]float64, len(w))
+		for s, v := range w {
+			reweighted[i][s] = gains[i] * v
+		}
+	}
+	want := cp.EMF(reweighted, 1e-9)
+	got := cp.EMFWeightedInto(nil, currents, 1e-9, gains)
+	for i := range want {
+		if diff := got[i] - want[i]; diff > 1e-15 || diff < -1e-15 {
+			t.Fatalf("sample %d: %g, want %g", i, got[i], want[i])
+		}
+	}
+	// A short gains slice treats the tail as gain 1 and must not panic.
+	short := cp.EMFWeightedInto(nil, currents, 1e-9, gains[:3])
+	if len(short) != len(plain) {
+		t.Fatalf("short gains produced %d samples, want %d", len(short), len(plain))
+	}
+}
+
+func sliceEq(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -81,6 +81,11 @@ func WriteHTMLReport(cfg Config, w io.Writer) error {
 		return err
 	}
 
+	// Extension: population-scale fleet monitoring.
+	if err := addFleet(cfg, r); err != nil {
+		return err
+	}
+
 	return r.WriteHTML(w)
 }
 
@@ -204,6 +209,38 @@ func addA2Spectra(cfg Config, r *report.Report) error {
 		report.Series{Name: "triggering", Color: "#c0392b", Values: specOn.Amplitude[:limit]},
 		report.Series{Name: "dormant", Color: "#2455a4", Values: specOff.Amplitude[:limit]},
 	)
+	return nil
+}
+
+// addFleet renders the population-scale monitoring run: the service
+// counters and the FDR alarm list scored against ground truth.
+func addFleet(cfg Config, r *report.Report) error {
+	res, err := Fleet(cfg)
+	if err != nil {
+		return err
+	}
+	r.AddHeading("Fleet monitoring — population-scale trust evaluation (extension)",
+		"A sharded service monitors a fleet of process-variation siblings, each aging through its own "+
+			"degradation profile. Per-die guarded Holt tracking discounts drift, the cross-die reference "+
+			"cancels the fleet common mode, and Benjamini-Hochberg ranking bounds the false-discovery "+
+			"fraction of the alarm list.")
+	r.AddTable([]string{"dies", "infected", "rounds", "verdicts", "verdicts/s", "shed", "quarantined", "alarms", "hits", "false"},
+		[][]string{{
+			fmt.Sprint(res.Dies), fmt.Sprint(res.Infected), fmt.Sprint(res.Rounds),
+			fmt.Sprint(res.Verdicts), fmt.Sprintf("%.0f", res.VerdictsPerSec),
+			fmt.Sprint(res.Dropped), fmt.Sprint(res.Quarantined),
+			fmt.Sprint(len(res.Alarms)), fmt.Sprint(res.Hits), fmt.Sprint(res.Falses),
+		}})
+	rows := make([][]string, 0, len(res.Alarms))
+	for _, a := range res.Alarms {
+		rows = append(rows, []string{
+			fmt.Sprint(a.Die), fmt.Sprintf("%.1f", a.Score), fmt.Sprintf("%.3g", a.P),
+			fmt.Sprintf("%d/%d", a.Confirmed, a.Verdicts),
+		})
+	}
+	if len(rows) > 0 {
+		r.AddTable([]string{"die", "score", "p", "confirmed"}, rows)
+	}
 	return nil
 }
 

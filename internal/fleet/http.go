@@ -1,0 +1,37 @@
+package fleet
+
+import (
+	"encoding/json"
+	"net/http"
+)
+
+// Handler exposes the service over HTTP:
+//
+//	GET /status — the Status snapshot (schema in service.go)
+//	GET /alarms — the ranked FDR-controlled alarm list
+//
+// Both endpoints are read-only snapshots, safe while the fleet is
+// streaming.
+func (s *Service) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/status", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, s.Status())
+	})
+	mux.HandleFunc("/alarms", func(w http.ResponseWriter, r *http.Request) {
+		alarms := s.Alarms()
+		if alarms == nil {
+			alarms = []Alarm{}
+		}
+		writeJSON(w, alarms)
+	})
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}

@@ -1,0 +1,83 @@
+package fleet
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sort"
+	"testing"
+)
+
+// TestStatusSchemaGolden pins the /status JSON schema: downstream
+// scrapers key on these field names, so adding a field means updating
+// the golden, and renaming or dropping one is a breaking change this
+// test makes loud.
+func TestStatusSchemaGolden(t *testing.T) {
+	s, err := New(cheapConfig(4, 2, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Start(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	s.Wait()
+	defer waitNoGoroutines(t, s)
+
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /status: %s", resp.Status)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	var status map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&status); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]string, 0, len(status))
+	for k := range status {
+		got = append(got, k)
+	}
+	sort.Strings(got)
+
+	raw, err := os.ReadFile(filepath.Join("testdata", "status_schema.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want []string
+	if err := json.Unmarshal(raw, &want); err != nil {
+		t.Fatal(err)
+	}
+	sort.Strings(want)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("/status schema drifted:\n got %v\nwant %v", got, want)
+	}
+
+	// Spot-check values against the service's own view.
+	st := s.Status()
+	if int(status["dies"].(float64)) != st.Dies || int(status["verdicts"].(float64)) != int(st.Verdicts) {
+		t.Fatalf("status payload disagrees with Status(): %v vs %+v", status, st)
+	}
+
+	// /alarms serves a JSON array even when empty.
+	resp2, err := http.Get(srv.URL + "/alarms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	var alarms []Alarm
+	if err := json.NewDecoder(resp2.Body).Decode(&alarms); err != nil {
+		t.Fatalf("GET /alarms did not decode as an array: %v", err)
+	}
+}

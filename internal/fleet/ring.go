@@ -1,0 +1,87 @@
+package fleet
+
+import "sync"
+
+// ring is the bounded verdict queue between the shard workers and the
+// aggregator. Its shedding policy is drop-oldest: a full queue evicts
+// the stalest verdict to admit the new one, and every eviction is
+// counted. The choice is deliberate — under overload the aggregator's
+// per-die statistics recover from losing old samples (the EWMA simply
+// sees a sparser stream), whereas blocking producers would stall whole
+// shards behind one slow consumer and an unbounded queue would grow
+// until the process dies. Memory is fixed at construction: one slice,
+// no per-push allocation.
+type ring struct {
+	mu       sync.Mutex
+	nonEmpty *sync.Cond
+	buf      []verdict
+	head     int // index of the oldest element
+	n        int // elements in the buffer
+	dropped  uint64
+	closed   bool
+}
+
+func newRing(capacity int) *ring {
+	if capacity < 1 {
+		capacity = 1
+	}
+	r := &ring{buf: make([]verdict, capacity)}
+	r.nonEmpty = sync.NewCond(&r.mu)
+	return r
+}
+
+// push admits v, evicting the oldest entry when full. It never blocks.
+// Pushes after close are counted as drops: the aggregator is gone, so
+// the verdict is shed, not leaked into a queue nobody drains.
+func (r *ring) push(v verdict) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		r.dropped++
+		return
+	}
+	if r.n == len(r.buf) {
+		r.head = (r.head + 1) % len(r.buf)
+		r.n--
+		r.dropped++
+	}
+	r.buf[(r.head+r.n)%len(r.buf)] = v
+	r.n++
+	r.nonEmpty.Signal()
+}
+
+// pop blocks until an element is available or the ring is closed and
+// drained; ok is false only in the latter case. A closed ring still
+// hands out its remaining elements — close-then-drain is the graceful
+// shutdown path.
+func (r *ring) pop() (verdict, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for r.n == 0 && !r.closed {
+		r.nonEmpty.Wait()
+	}
+	if r.n == 0 {
+		return verdict{}, false
+	}
+	v := r.buf[r.head]
+	r.buf[r.head] = verdict{} // drop references for the GC
+	r.head = (r.head + 1) % len(r.buf)
+	r.n--
+	return v, true
+}
+
+// close stops admissions and wakes blocked consumers once the remaining
+// elements are drained.
+func (r *ring) close() {
+	r.mu.Lock()
+	r.closed = true
+	r.mu.Unlock()
+	r.nonEmpty.Broadcast()
+}
+
+// stats returns the current depth, capacity, and drop count.
+func (r *ring) stats() (depth, capacity int, dropped uint64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.n, len(r.buf), r.dropped
+}

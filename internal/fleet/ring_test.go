@@ -1,0 +1,68 @@
+package fleet
+
+import "testing"
+
+func TestRingFIFOAndDropOldest(t *testing.T) {
+	r := newRing(3)
+	for i := 0; i < 3; i++ {
+		r.push(verdict{die: i})
+	}
+	if depth, capacity, dropped := r.stats(); depth != 3 || capacity != 3 || dropped != 0 {
+		t.Fatalf("stats after fill: depth=%d cap=%d dropped=%d", depth, capacity, dropped)
+	}
+	// Overflow: the two oldest are evicted, both counted.
+	r.push(verdict{die: 3})
+	r.push(verdict{die: 4})
+	if _, _, dropped := r.stats(); dropped != 2 {
+		t.Fatalf("dropped = %d, want 2", dropped)
+	}
+	for want := 2; want <= 4; want++ {
+		v, ok := r.pop()
+		if !ok || v.die != want {
+			t.Fatalf("pop = (%v, %v), want die %d", v.die, ok, want)
+		}
+	}
+}
+
+func TestRingCloseDrains(t *testing.T) {
+	r := newRing(4)
+	r.push(verdict{die: 1})
+	r.push(verdict{die: 2})
+	r.close()
+	// A closed ring still hands out its backlog...
+	if v, ok := r.pop(); !ok || v.die != 1 {
+		t.Fatalf("pop after close = (%v, %v)", v.die, ok)
+	}
+	if v, ok := r.pop(); !ok || v.die != 2 {
+		t.Fatalf("pop after close = (%v, %v)", v.die, ok)
+	}
+	// ...then reports exhaustion instead of blocking.
+	if _, ok := r.pop(); ok {
+		t.Fatal("pop on drained closed ring reported ok")
+	}
+	// Pushes after close are shed and counted, not leaked.
+	r.push(verdict{die: 3})
+	if _, _, dropped := r.stats(); dropped != 1 {
+		t.Fatalf("dropped after post-close push = %d, want 1", dropped)
+	}
+}
+
+func TestRingCapacityClamp(t *testing.T) {
+	r := newRing(0)
+	if _, capacity, _ := r.stats(); capacity != 1 {
+		t.Fatalf("capacity = %d, want clamp to 1", capacity)
+	}
+}
+
+func TestRingUnblocksConsumerOnClose(t *testing.T) {
+	r := newRing(2)
+	done := make(chan bool)
+	go func() {
+		_, ok := r.pop()
+		done <- ok
+	}()
+	r.close()
+	if ok := <-done; ok {
+		t.Fatal("blocked pop returned ok after close of empty ring")
+	}
+}

@@ -1,0 +1,61 @@
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Multiple-testing control for fleet-scale alarm ranking. A fleet of N
+// monitored dies is N simultaneous hypothesis tests per aggregation
+// round; thresholding each die's p-value at alpha fires alpha*N false
+// alarms per round no matter how clean the population is. The
+// Benjamini-Hochberg procedure instead bounds the *false discovery
+// rate* — the expected fraction of flagged dies that are actually
+// clean — which is the quantity a triage queue cares about.
+
+// BenjaminiHochberg returns which hypotheses to reject at false
+// discovery rate q, given per-hypothesis p-values. The returned slice
+// parallels p; threshold is the largest p-value rejected (0 when
+// nothing is rejected). Non-finite p-values are treated as 1 (never
+// rejected, still counted in the family size).
+func BenjaminiHochberg(p []float64, q float64) (reject []bool, threshold float64) {
+	reject = make([]bool, len(p))
+	if len(p) == 0 || q <= 0 {
+		return reject, 0
+	}
+	order := make([]int, len(p))
+	for i := range order {
+		order[i] = i
+	}
+	val := func(i int) float64 {
+		v := p[i]
+		if math.IsNaN(v) || v < 0 {
+			return 1
+		}
+		if v > 1 {
+			return 1
+		}
+		return v
+	}
+	sort.Slice(order, func(a, b int) bool { return val(order[a]) < val(order[b]) })
+	// Largest k with p_(k) <= k/m * q; reject everything ranked at or
+	// below it.
+	m := float64(len(p))
+	cut := -1
+	for k, idx := range order {
+		if val(idx) <= float64(k+1)/m*q {
+			cut = k
+		}
+	}
+	for k := 0; k <= cut; k++ {
+		reject[order[k]] = true
+		threshold = val(order[k])
+	}
+	return reject, threshold
+}
+
+// NormalSF is the standard normal survival function P(Z > z), the
+// one-sided p-value of a z-score.
+func NormalSF(z float64) float64 {
+	return 0.5 * math.Erfc(z/math.Sqrt2)
+}

@@ -1,0 +1,71 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestBenjaminiHochbergBasics(t *testing.T) {
+	// The worked example from Benjamini & Hochberg (1995): m=15 tests
+	// at q=0.05 reject exactly the four smallest p-values (note the
+	// step-up rule rejects 0.0095 even though 0.0095 > 3/15*0.05).
+	p := []float64{
+		0.0019, 0.0001, 0.0095, 0.0004, 0.0201, 0.0278, 0.0298, 0.0344,
+		0.0459, 0.3240, 0.4262, 0.5719, 0.6528, 0.7590, 1.000,
+	}
+	reject, thr := BenjaminiHochberg(p, 0.05)
+	want := []bool{true, true, true, true, false, false, false, false, false, false, false, false, false, false, false}
+	for i := range want {
+		if reject[i] != want[i] {
+			t.Fatalf("reject[%d] = %v, want %v (reject=%v)", i, reject[i], want[i], reject)
+		}
+	}
+	if thr != 0.0095 {
+		t.Fatalf("threshold = %g, want 0.0095", thr)
+	}
+}
+
+func TestBenjaminiHochbergEdges(t *testing.T) {
+	if r, thr := BenjaminiHochberg(nil, 0.05); len(r) != 0 || thr != 0 {
+		t.Fatalf("empty input: got %v, %g", r, thr)
+	}
+	// All large p-values: nothing rejected.
+	r, thr := BenjaminiHochberg([]float64{0.9, 0.8, 0.99}, 0.05)
+	for i, v := range r {
+		if v {
+			t.Fatalf("rejected null hypothesis %d with p=0.8+", i)
+		}
+	}
+	if thr != 0 {
+		t.Fatalf("threshold = %g, want 0", thr)
+	}
+	// Non-finite p-values never reject but do not crash or shrink the
+	// family; a single tiny p among them still rejects.
+	r, _ = BenjaminiHochberg([]float64{math.NaN(), 1e-9, math.Inf(1), -3}, 0.05)
+	if r[0] || !r[1] || r[2] || r[3] {
+		t.Fatalf("non-finite handling wrong: %v", r)
+	}
+	// Monotone in q: a rejection at q=0.01 is a rejection at q=0.1.
+	p := []float64{0.0004, 0.03, 0.5, 0.6, 0.7}
+	lo, _ := BenjaminiHochberg(p, 0.01)
+	hi, _ := BenjaminiHochberg(p, 0.1)
+	for i := range p {
+		if lo[i] && !hi[i] {
+			t.Fatalf("rejection set not monotone in q at %d", i)
+		}
+	}
+}
+
+func TestNormalSF(t *testing.T) {
+	cases := []struct{ z, want float64 }{
+		{0, 0.5},
+		{1.6448536269514722, 0.05},
+		{3, 0.0013498980316300933},
+		{-1, 0.8413447460685429},
+	}
+	for _, c := range cases {
+		if got := NormalSF(c.z); math.Abs(got-c.want) > 1e-12 {
+			t.Fatalf("NormalSF(%g) = %g, want %g", c.z, got, c.want)
+		}
+	}
+}
