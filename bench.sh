@@ -26,10 +26,19 @@ fi
 raw="$(mktemp)"
 trap 'rm -f "$raw"' EXIT
 
+# Provenance stamps: snapshots are only comparable when the code and
+# toolchain are known, so record the commit, go version, and the
+# parallelism the benchmarks actually ran with.
+sha="$(git rev-parse HEAD 2>/dev/null || echo unknown)"
+git diff --quiet HEAD 2>/dev/null || sha="$sha-dirty"
+gover="$(go env GOVERSION)"
+# Go defaults GOMAXPROCS to the online CPU count when the env is unset.
+maxprocs="${GOMAXPROCS:-$(getconf _NPROCESSORS_ONLN 2>/dev/null || echo 1)}"
+
 # -run '^$' skips tests; remaining args may override -bench/-benchtime.
 go test -run '^$' -bench . -benchmem "$@" . | tee "$raw"
 
-awk -v out="$out" '
+awk -v out="$out" -v sha="$sha" -v gover="$gover" -v maxprocs="$maxprocs" '
 BEGIN { n = 0 }
 /^goos:/    { goos = $2 }
 /^goarch:/  { goarch = $2 }
@@ -49,6 +58,9 @@ BEGIN { n = 0 }
 }
 END {
     printf "{\n" > out
+    printf "  \"commit\": \"%s\",\n", sha >> out
+    printf "  \"go\": \"%s\",\n", gover >> out
+    printf "  \"gomaxprocs\": %d,\n", maxprocs >> out
     printf "  \"goos\": \"%s\",\n", goos >> out
     printf "  \"goarch\": \"%s\",\n", goarch >> out
     printf "  \"cpu\": \"%s\",\n", cpu >> out

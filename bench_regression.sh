@@ -1,0 +1,88 @@
+#!/bin/sh
+# Report-only benchmark regression smoke: runs a short pass of the two
+# headline benchmarks (fleet verdict throughput and the simulation
+# engine tick) and compares ns/op against the newest committed
+# BENCH_<n>.json snapshot. A slowdown past the threshold prints a
+# warning — GitHub-annotated when running in Actions — but never fails
+# the build: CI machines are noisy and snapshots come from other
+# hardware, so this is a tripwire for gross regressions, not a gate.
+#
+# Usage: ./bench_regression.sh [threshold-percent]   (default 30)
+set -eu
+
+threshold="${1:-30}"
+
+prev=""
+max=0
+for f in BENCH_*.json; do
+    [ -e "$f" ] || continue
+    n="${f#BENCH_}"
+    n="${n%.json}"
+    case "$n" in '' | *[!0-9]*) continue ;; esac
+    if [ "$n" -gt "$max" ]; then
+        max="$n"
+        prev="$f"
+    fi
+done
+if [ -z "$prev" ]; then
+    echo "bench_regression: no BENCH_<n>.json snapshot found; nothing to compare"
+    exit 0
+fi
+
+raw="$(mktemp)"
+trap 'rm -f "$raw"' EXIT
+
+# Short pass: one iteration each. BenchmarkTick covers the compiled and
+# reference engines; BenchmarkFleetThroughput covers the monitoring
+# hot path end to end.
+go test -run '^$' -bench 'BenchmarkFleetThroughput$|BenchmarkTick' \
+    -benchtime=1x . | tee "$raw"
+
+echo ""
+echo "== regression check vs $prev (warn above ${threshold}%) =="
+awk -v prevfile="$prev" -v threshold="$threshold" -v ci="${GITHUB_ACTIONS:-}" '
+BEGIN {
+    name = ""
+    while ((getline line < prevfile) > 0) {
+        if (line ~ /"name":/) {
+            name = line
+            sub(/^.*"name": "/, "", name)
+            sub(/".*$/, "", name)
+        } else if (line ~ /"ns_per_op":/ && name != "") {
+            val = line
+            sub(/^.*"ns_per_op": /, "", val)
+            sub(/,.*$/, "", val)
+            prevns[name] = val + 0
+            name = ""
+        }
+    }
+    close(prevfile)
+    warned = 0
+    checked = 0
+}
+/^Benchmark/ {
+    b = $1
+    sub(/-[0-9]+$/, "", b)
+    if (!(b in prevns) || prevns[b] == 0) next
+    cur = $3 + 0
+    if (cur == 0) next
+    checked++
+    pct = (cur - prevns[b]) / prevns[b] * 100
+    status = "ok"
+    if (pct > threshold) {
+        status = "SLOWER"
+        warned++
+        if (ci != "")
+            printf "::warning title=bench regression::%s is %.0f%% slower than %s (%.0f ns/op vs %.0f ns/op)\n", b, pct, prevfile, cur, prevns[b]
+    }
+    printf "%-52s %14.0f %14.0f %+8.1f%%  %s\n", b, prevns[b], cur, pct, status
+}
+END {
+    if (checked == 0)
+        print "no overlapping benchmarks between this run and " prevfile
+    else if (warned > 0)
+        printf "WARNING: %d benchmark(s) regressed more than %d%% (report-only, not failing the build)\n", warned, threshold
+    else
+        print "no regressions above threshold"
+}
+' "$raw"

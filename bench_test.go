@@ -717,6 +717,122 @@ func BenchmarkFleetThroughput(b *testing.B) {
 	}
 }
 
+// BenchmarkFleetThroughput10k is the 10000-die size point of the fleet
+// benchmark: same per-die settings as BenchmarkFleetThroughput, ten
+// times the fleet, fewer rounds so one iteration stays tractable. Its
+// job is to prove the tick path's allocation discipline holds at
+// scale — B/op must grow with the verdict payloads, not with a
+// per-tick garbage rate multiplied by fleet size.
+func BenchmarkFleetThroughput10k(b *testing.B) {
+	cfg := benchConfig()
+	fc := fleet.DefaultConfig()
+	fc.Chip = cfg.Chip
+	fc.Key = cfg.Key
+	fc.Plaintext = cfg.Plaintext
+	fc.Seed = 1
+	fc.Dies = 10000
+	fc.Shards = 8
+	fc.Prevalence = 0.01
+	fc.Severity = 2
+	fc.Rounds = 2
+	fc.TickAverages = 2
+	fc.GoldenTraces = 8
+	fc.NullTraces = 12
+	fc.QueueSize = 1 << 12
+	fc.MinSamples = 2
+	var verdicts uint64
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		s, err := fleet.New(fc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		if err := s.Start(context.Background()); err != nil {
+			b.Fatal(err)
+		}
+		st := s.Wait()
+		b.StopTimer()
+		if st.QueueLen != 0 {
+			b.Fatalf("queue not drained: %d verdicts left", st.QueueLen)
+		}
+		if g := s.Goroutines(); g != 0 {
+			b.Fatalf("goroutine leak: %d still live after Wait", g)
+		}
+		verdicts += st.Verdicts
+		b.StartTimer()
+	}
+	b.StopTimer()
+	if sec := b.Elapsed().Seconds(); sec > 0 {
+		b.ReportMetric(float64(verdicts)/sec, "verdicts_per_s")
+	}
+}
+
+// BenchmarkDieTick measures one monitored round of a single die — the
+// pooled acquisition (trimmed-mean averaging through the degradation
+// stack), health check, feature extraction, PCA scoring, and the
+// tracker/integrator update — with the shard, watchdog, and queue
+// machinery out of the way. allocs/op is the headline: the steady-state
+// tick must stay within the two fixed verdict-payload copies.
+func BenchmarkDieTick(b *testing.B) {
+	cfg := benchConfig()
+	fc := fleet.DefaultConfig()
+	fc.Chip = cfg.Chip
+	fc.Key = cfg.Key
+	fc.Plaintext = cfg.Plaintext
+	fc.Seed = 1
+	fc.Dies = 4
+	fc.Shards = 1
+	fc.Severity = 2
+	fc.TickAverages = 2
+	fc.GoldenTraces = 8
+	fc.NullTraces = 12
+	s, err := fleet.New(fc)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s.TickOnce(0, 0) // warm the die's reusable buffers
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.TickOnce(0, i+1)
+	}
+}
+
+// BenchmarkEMFWeightedInto measures the per-die waveform synthesis the
+// fleet runs at enrollment: per-tile gain-weighted flux accumulation
+// over the chip grid plus one backward differentiation, into a reused
+// buffer. The fused four-tile sweep is what this tracks.
+func BenchmarkEMFWeightedInto(b *testing.B) {
+	cfg := chip.DefaultConfig()
+	c, err := chip.New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	fp := c.Floorplan()
+	coil := emfield.OnChipSpiral(fp.Die, cfg.SpiralTurns, cfg.SpiralZ)
+	cp, err := emfield.CachedCoupling(coil, fp.Grid, cfg.TileLoopArea, cfg.Quad)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(9))
+	const samples = 512
+	currents := make([][]float64, len(cp.M))
+	gains := make([]float64, len(cp.M))
+	for i := range currents {
+		gains[i] = 0.9 + 0.2*rng.Float64()
+		w := make([]float64, samples)
+		for j := range w {
+			w[j] = rng.NormFloat64() * 1e-3
+		}
+		currents[i] = w
+	}
+	dst := make([]float64, samples)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dst = cp.EMFWeightedInto(dst, currents, 1e-9, gains)
+	}
+}
+
 // BenchmarkSettle measures a sparse re-settle: one plaintext bit flips
 // per iteration, the common shape of port-driven stimulus between
 // ticks. Event-driven evaluation only touches the flipped bit's cone.

@@ -41,6 +41,8 @@ import (
 	"log"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 
 	"emtrust/internal/chip"
 	"emtrust/internal/core"
@@ -68,7 +70,11 @@ func main() {
 	prevalence := flag.Float64("prevalence", 0.01, "fraction of fleet dies fabricated with the Trojan (-fleet)")
 	severity := flag.Float64("severity", 1, "fleet acquisition-chain aging severity (-fleet)")
 	httpAddr := flag.String("http", "", "serve fleet /status and /alarms on this address, e.g. :8080 (-fleet)")
+	mutexprofile := flag.String("mutexprofile", "", "write a mutex contention profile of the run to this file")
+	blockprofile := flag.String("blockprofile", "", "write a blocking (off-CPU wait) profile of the run to this file")
 	flag.Parse()
+
+	defer startContentionProfiles(*mutexprofile, *blockprofile)()
 
 	if *fleetMode {
 		runFleet(fleetFlags{
@@ -355,4 +361,44 @@ func loadSpectral(dir string) *core.SpectralDetector {
 		log.Fatal(err)
 	}
 	return sd
+}
+
+// startContentionProfiles enables the runtime's mutex and block
+// samplers when the corresponding flag names an output file, and
+// returns the function that writes the collected profiles. The
+// samplers stay off by default — they tax every lock operation — so
+// the fleet hot path only pays for them when a profile was requested.
+func startContentionProfiles(mutexFile, blockFile string) func() {
+	if mutexFile == "" && blockFile == "" {
+		return func() {}
+	}
+	if mutexFile != "" {
+		runtime.SetMutexProfileFraction(5)
+	}
+	if blockFile != "" {
+		// Sample every blocking event at nanosecond granularity; the
+		// shard workers block on channel sends, not spin, so the
+		// overhead is acceptable for a profiling run.
+		runtime.SetBlockProfileRate(1)
+	}
+	write := func(name, file string) {
+		if file == "" {
+			return
+		}
+		f, err := os.Create(file)
+		if err != nil {
+			log.Printf("contention profile: %v", err)
+			return
+		}
+		defer f.Close()
+		if err := pprof.Lookup(name).WriteTo(f, 0); err != nil {
+			log.Printf("contention profile %s: %v", name, err)
+			return
+		}
+		log.Printf("wrote %s profile to %s", name, file)
+	}
+	return func() {
+		write("mutex", mutexFile)
+		write("block", blockFile)
+	}
 }

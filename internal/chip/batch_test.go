@@ -175,7 +175,17 @@ func TestCaptureBatchReferenceFallback(t *testing.T) {
 	if err := ref.SetTrojan(trojan.T2LeakageCurrent, true); err != nil {
 		t.Fatal(err)
 	}
-	cmp := activeClone(t, trojan.T2LeakageCurrent)
+	// The compiled chip must start from the same pre-state as the fresh
+	// reference chip, so build it fresh too: the shared infected chip's
+	// latch state depends on which tests captured on it earlier, and a
+	// clone of it would make this comparison shuffle-order dependent.
+	cmp, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmp.SetTrojan(trojan.T2LeakageCurrent, true); err != nil {
+		t.Fatal(err)
+	}
 
 	pts := make([][]byte, 3)
 	for i := range pts {

@@ -24,6 +24,11 @@ type Evaluator struct {
 	db     *debouncer
 	rb     *rebaseliner
 	seq    int
+	// feat/score/recon back the allocation-free EvalChecked path. They
+	// are confined to the synchronous Eval/EvalChecked entry points —
+	// Monitor's concurrent worker pool goes through evaluate, which
+	// never touches them.
+	feat, score, recon []float64
 }
 
 // NewEvaluator builds the synchronous pipeline from fitted detectors.
@@ -55,9 +60,67 @@ func NewEvaluator(fp *Fingerprint, sd *SpectralDetector, opts MonitorOptions) (*
 // Eval runs the full pipeline on one trace and returns its verdict.
 // Sequence numbers are stamped in call order.
 func (e *Evaluator) Eval(t *trace.Trace) Verdict {
-	ev := e.evaluate(e.seq, t)
+	var hv HealthVerdict
+	if e.health != nil {
+		hv = e.health.Check(t)
+	}
+	return e.EvalChecked(t, hv, nil)
+}
+
+// EvalChecked is Eval for callers that already ran the health gate on
+// this trace (and possibly extracted its features, sparing the
+// pipeline a second extraction): hv must be this evaluator's health
+// check result for t — pass a zero HealthVerdict when the evaluator
+// was built without a health gate — and features, when non-nil, must
+// be the trace's feature vector under the fingerprint's extractor.
+// The verdict is bit-identical to Eval's. Score buffers are
+// evaluator-owned and reused across calls; the returned Verdict holds
+// no references into them, so the steady-state path allocates nothing.
+func (e *Evaluator) EvalChecked(t *trace.Trace, hv HealthVerdict, features []float64) Verdict {
+	v := Verdict{Seq: e.seq, Confidence: 1}
 	e.seq++
-	return e.finalize(ev)
+	if e.health != nil {
+		v.Health = hv
+		v.Confidence = e.health.Confidence(hv)
+		if hv.Rejected {
+			if e.db != nil {
+				v.Window = e.db.state() // window unchanged: no evidence either way
+			}
+			return v
+		}
+	}
+	var score []float64
+	if e.fp != nil {
+		if features == nil {
+			e.feat = e.fp.Extractor.ExtractInto(e.feat, t)
+			features = e.feat
+		}
+		e.score, e.recon = e.fp.scoreInto(e.score, e.recon, features)
+		score = e.score
+		if e.rb == nil {
+			d := stats.MinDistanceToSet(score, e.fp.Golden)
+			v.Time = TimeVerdict{Distance: d, Threshold: e.fp.Threshold, Alarm: d > e.fp.Threshold}
+		}
+	}
+	if e.sd != nil {
+		v.Spectral = e.sd.Evaluate(t)
+	}
+	if e.rb != nil && score != nil {
+		// rb.shift either returns score itself (no offset yet) or a fresh
+		// shifted copy; neither path retains the reused buffer.
+		d := stats.MinDistanceToSet(e.rb.shift(score), e.fp.Golden)
+		v.Time = TimeVerdict{Distance: d, Threshold: e.fp.Threshold, Alarm: d > e.fp.Threshold}
+	}
+	raw := v.Time.Alarm || v.Spectral.Alarm
+	if e.db != nil {
+		v.Window = e.db.push(raw)
+	}
+	// Guarded re-baselining, as in finalize: adapt only on quiet traces
+	// with an all-clear debounce window.
+	if e.rb != nil && score != nil && !raw && v.Window.Alarms == 0 {
+		e.rb.update(score, e.fp.Centroid)
+	}
+	return v
 }
 
 // evaluate is the stateless half: the health pre-check and both

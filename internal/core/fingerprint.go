@@ -26,13 +26,26 @@ type FeatureExtractor struct {
 
 // Extract computes the feature vector of a trace.
 func (f FeatureExtractor) Extract(t *trace.Trace) []float64 {
+	return f.ExtractInto(nil, t)
+}
+
+// ExtractInto is Extract writing into dst, which is reused when its
+// capacity suffices and reallocated otherwise; the (possibly new)
+// buffer is returned.
+func (f FeatureExtractor) ExtractInto(dst []float64, t *trace.Trace) []float64 {
 	n := f.Segments
 	if n <= 0 {
 		n = 32
 	}
-	out := make([]float64, n)
+	if cap(dst) < n {
+		dst = make([]float64, n)
+	}
+	dst = dst[:n]
 	if len(t.Samples) == 0 {
-		return out
+		for i := range dst {
+			dst[i] = 0
+		}
+		return dst
 	}
 	for i := 0; i < n; i++ {
 		lo := i * len(t.Samples) / n
@@ -43,9 +56,9 @@ func (f FeatureExtractor) Extract(t *trace.Trace) []float64 {
 				lo, hi = len(t.Samples)-1, len(t.Samples)
 			}
 		}
-		out[i] = dsp.RMS(t.Samples[lo:hi])
+		dst[i] = dsp.RMS(t.Samples[lo:hi])
 	}
-	return out
+	return dst
 }
 
 // FingerprintConfig sets the fingerprint construction parameters.
@@ -121,12 +134,35 @@ func BuildFingerprint(golden []*trace.Trace, cfg FingerprintConfig) (*Fingerprin
 // project maps a feature vector to scores, optionally appending the
 // reconstruction residual.
 func (fp *Fingerprint) project(features []float64) []float64 {
-	scores := fp.PCA.Project(features)
-	if !fp.residual {
-		return scores
+	scores, _ := fp.scoreInto(nil, nil, features)
+	return scores
+}
+
+// scoreInto is project writing the score vector into dst and using
+// recon as reconstruction scratch; both buffers are reused when their
+// capacity suffices and the (possibly grown) buffers are returned.
+// Bit-identical to project.
+func (fp *Fingerprint) scoreInto(dst, recon, features []float64) (scores, reconOut []float64) {
+	k := fp.PCA.K()
+	n := k
+	if fp.residual {
+		n = k + 1
 	}
-	back := fp.PCA.Reconstruct(scores)
-	return append(scores, stats.Euclidean(features, back))
+	if cap(dst) < n {
+		dst = make([]float64, n)
+	}
+	dst = dst[:n]
+	fp.PCA.ProjectInto(dst[:k], features)
+	if !fp.residual {
+		return dst, recon
+	}
+	if cap(recon) < len(fp.PCA.Mean) {
+		recon = make([]float64, len(fp.PCA.Mean))
+	}
+	recon = recon[:len(fp.PCA.Mean)]
+	fp.PCA.ReconstructInto(recon, dst[:k])
+	dst[k] = stats.Euclidean(features, recon)
+	return dst, recon
 }
 
 // Project maps a trace into the golden score space (PCA scores plus the

@@ -17,7 +17,6 @@ package degrade
 
 import (
 	"math"
-	"math/rand"
 	"sync/atomic"
 
 	"emtrust/internal/trace"
@@ -29,7 +28,27 @@ import (
 type Env struct {
 	Dt    float64
 	Index int
-	Rng   *rand.Rand
+	Rng   trace.Rand
+	// scratch, when non-nil, points at a channel-owned reusable buffer
+	// stages may borrow via scratchBuf instead of allocating. Only the
+	// Into acquisition path wires it; a zero Env keeps every stage
+	// allocation-free of shared state and safe to use concurrently.
+	scratch *[]float64
+}
+
+// scratchBuf returns a length-n scratch slice for a stage's private
+// use within one Apply call, reusing the channel-owned buffer when the
+// Env carries one.
+func (e Env) scratchBuf(n int) []float64 {
+	if e.scratch == nil {
+		return make([]float64, n)
+	}
+	buf := *e.scratch
+	if cap(buf) < n {
+		buf = make([]float64, n)
+		*e.scratch = buf
+	}
+	return buf[:n]
 }
 
 // Stage mutates one acquired trace in place.
@@ -47,10 +66,27 @@ type Stage interface {
 type Identity struct{}
 
 // Acquire copies the waveform into a fresh trace.
-func (Identity) Acquire(clean []float64, dt float64, _ *rand.Rand) *trace.Trace {
+func (Identity) Acquire(clean []float64, dt float64, _ trace.Rand) *trace.Trace {
 	s := make([]float64, len(clean))
 	copy(s, clean)
 	return &trace.Trace{Dt: dt, Samples: s}
+}
+
+// AcquireScaledInto implements trace.ScaledAcquirer: the waveform times
+// scale, written into dst's reused buffer.
+func (Identity) AcquireScaledInto(dst *trace.Trace, clean []float64, scale, dt float64, _ trace.Rand) *trace.Trace {
+	s := dst.Samples
+	if cap(s) < len(clean) {
+		s = make([]float64, len(clean))
+	} else {
+		s = s[:len(clean)]
+	}
+	for i, v := range clean {
+		s[i] = v * scale
+	}
+	dst.Dt = dt
+	dst.Samples = s
+	return dst
 }
 
 // Channel wraps an inner acquisition channel with degradation stages,
@@ -60,6 +96,11 @@ type Channel struct {
 	Inner  trace.Channel
 	Stages []Stage
 	next   atomic.Int64
+	// stageScratch and scaleScratch back the allocation-free
+	// AcquireAtInto path; they make that method (and only it) unsafe
+	// for concurrent use.
+	stageScratch []float64
+	scaleScratch []float64
 }
 
 // Wrap builds a degraded channel over inner.
@@ -71,19 +112,50 @@ func Wrap(inner trace.Channel, stages ...Stage) *Channel {
 // index per call. The internal index makes this order-sensitive: loops
 // that may be reordered or parallelized must use AcquireAt with an
 // explicit index instead.
-func (c *Channel) Acquire(clean []float64, dt float64, rng *rand.Rand) *trace.Trace {
+func (c *Channel) Acquire(clean []float64, dt float64, rng trace.Rand) *trace.Trace {
 	return c.AcquireAt(int(c.next.Add(1)-1), clean, dt, rng)
 }
 
 // AcquireAt acquires through the inner channel and applies every stage
 // with the given timeline index. Deterministic for a given (index, rng).
-func (c *Channel) AcquireAt(index int, clean []float64, dt float64, rng *rand.Rand) *trace.Trace {
+func (c *Channel) AcquireAt(index int, clean []float64, dt float64, rng trace.Rand) *trace.Trace {
 	t := c.Inner.Acquire(clean, dt, rng)
 	env := Env{Dt: dt, Index: index, Rng: rng}
 	for _, s := range c.Stages {
 		s.Apply(t.Samples, env)
 	}
 	return t
+}
+
+// AcquireAtInto is AcquireAt writing into dst (reusing dst's sample
+// buffer) with the clean waveform pre-multiplied by scale, and with
+// the channel's internal scratch lent to the stages. Bit-identical to
+// scaling the waveform yourself and calling AcquireAt, but with zero
+// steady-state allocations when the inner channel implements
+// trace.ScaledAcquirer. NOT safe for concurrent use on one Channel —
+// the scratch buffers are channel-owned; concurrent acquirers must
+// keep using AcquireAt.
+func (c *Channel) AcquireAtInto(index int, dst *trace.Trace, clean []float64, scale, dt float64, rng trace.Rand) *trace.Trace {
+	if sa, ok := c.Inner.(trace.ScaledAcquirer); ok {
+		dst = sa.AcquireScaledInto(dst, clean, scale, dt, rng)
+	} else {
+		if scale != 1 {
+			if cap(c.scaleScratch) < len(clean) {
+				c.scaleScratch = make([]float64, len(clean))
+			}
+			buf := c.scaleScratch[:len(clean)]
+			for i, v := range clean {
+				buf[i] = v * scale
+			}
+			clean = buf
+		}
+		*dst = *c.Inner.Acquire(clean, dt, rng)
+	}
+	env := Env{Dt: dt, Index: index, Rng: rng, scratch: &c.stageScratch}
+	for _, s := range c.Stages {
+		s.Apply(dst.Samples, env)
+	}
+	return dst
 }
 
 // Clip saturates the record at the ADC rails ±Rail, the signature of a
@@ -221,7 +293,7 @@ func (j Jitter) Apply(s []float64, env Env) {
 	if j.RMSFraction <= 0 || len(s) < 2 {
 		return
 	}
-	orig := make([]float64, len(s))
+	orig := env.scratchBuf(len(s))
 	copy(orig, s)
 	max := float64(len(s) - 1)
 	for i := range s {

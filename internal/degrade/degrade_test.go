@@ -12,7 +12,7 @@ import (
 // stages under test from acquisition noise.
 type passthrough struct{}
 
-func (passthrough) Acquire(clean []float64, dt float64, _ *rand.Rand) *trace.Trace {
+func (passthrough) Acquire(clean []float64, dt float64, _ trace.Rand) *trace.Trace {
 	s := make([]float64, len(clean))
 	copy(s, clean)
 	return &trace.Trace{Dt: dt, Samples: s}

@@ -1,0 +1,108 @@
+package emfield
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// referenceFlux is the pre-fusion one-tile-at-a-time accumulation,
+// kept verbatim as the differential oracle for accumulateFlux.
+func referenceFlux(dst []float64, currents [][]float64, m, gains []float64) {
+	n := len(dst)
+	for t, w := range currents {
+		mt := m[t]
+		if t < len(gains) {
+			mt *= gains[t]
+		}
+		if mt == 0 || len(w) == 0 {
+			continue
+		}
+		if len(w) > n {
+			w = w[:n]
+		}
+		for i, v := range w {
+			dst[i] += mt * v
+		}
+	}
+}
+
+// TestAccumulateFluxMatchesReference sweeps tile counts through every
+// group remainder (0..9 tiles), with zero couplings, empty, short, and
+// over-long waveforms interleaved, and checks the fused grouped sweep
+// against the rolled reference bit for bit. FP addition is not
+// associative, so this only holds because grouping preserves per-sample
+// tile order exactly — which is the property under test.
+func TestAccumulateFluxMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	const n = 37 // odd length so the grouped sweep has no friendly alignment
+	for tiles := 0; tiles <= 9; tiles++ {
+		for trial := 0; trial < 8; trial++ {
+			currents := make([][]float64, tiles)
+			m := make([]float64, tiles)
+			gains := make([]float64, rng.Intn(tiles+1)) // short gains: tail tiles at gain 1
+			for g := range gains {
+				gains[g] = 0.5 + rng.Float64()
+			}
+			for i := range currents {
+				m[i] = rng.NormFloat64()
+				switch rng.Intn(6) {
+				case 0:
+					currents[i] = nil // empty: skipped
+				case 1:
+					m[i] = 0 // zero coupling: skipped
+					currents[i] = randWave(rng, n)
+				case 2:
+					currents[i] = randWave(rng, 1+rng.Intn(n-1)) // short: breaks the group
+				case 3:
+					currents[i] = randWave(rng, n+1+rng.Intn(16)) // long: clamped, breaks the group
+				default:
+					currents[i] = randWave(rng, n) // full length: groupable
+				}
+			}
+			want := make([]float64, n)
+			referenceFlux(want, currents, m, gains)
+			got := make([]float64, n)
+			accumulateFlux(got, currents, m, gains)
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("tiles=%d trial=%d sample %d: fused %v != reference %v",
+						tiles, trial, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+func randWave(rng *rand.Rand, n int) []float64 {
+	w := make([]float64, n)
+	for i := range w {
+		w[i] = rng.NormFloat64()
+	}
+	return w
+}
+
+// TestEMFWeightedIntoAllocs pins the synthesis path allocation-free
+// once dst has capacity: the fleet's per-die waveform builds and the
+// localization sweeps rely on it.
+func TestEMFWeightedIntoAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates; run the gate without -race")
+	}
+	rng := rand.New(rand.NewSource(7))
+	const tiles, n = 64, 256
+	cp := &Coupling{M: make([]float64, tiles)}
+	currents := make([][]float64, tiles)
+	gains := make([]float64, tiles)
+	for i := range currents {
+		cp.M[i] = rng.NormFloat64()
+		gains[i] = 0.5 + rng.Float64()
+		currents[i] = randWave(rng, n)
+	}
+	dst := make([]float64, n)
+	avg := testing.AllocsPerRun(100, func() {
+		dst = cp.EMFWeightedInto(dst, currents, 1e-9, gains)
+	})
+	if avg != 0 {
+		t.Fatalf("EMFWeightedInto allocates %.1f times per call, want 0", avg)
+	}
+}

@@ -344,6 +344,12 @@ func (cp *Coupling) EMF(currents [][]float64, dt float64) []float64 {
 // longer than the first tile's are clamped rather than read out of
 // bounds.
 func (cp *Coupling) EMFInto(dst []float64, currents [][]float64, dt float64) []float64 {
+	return cp.emfInto(dst, currents, dt, nil)
+}
+
+// emfInto is the shared synthesis body: flux accumulation (four tiles
+// per sweep), then one backward differentiation.
+func (cp *Coupling) emfInto(dst []float64, currents [][]float64, dt float64, gains []float64) []float64 {
 	if len(currents) != len(cp.M) {
 		panic(fmt.Sprintf("emfield: %d tile waveforms for %d couplings", len(currents), len(cp.M)))
 	}
@@ -362,18 +368,7 @@ func (cp *Coupling) EMFInto(dst []float64, currents [][]float64, dt float64) []f
 	for i := range dst {
 		dst[i] = 0
 	}
-	for t, w := range currents {
-		m := cp.M[t]
-		if m == 0 || len(w) == 0 {
-			continue
-		}
-		if len(w) > n {
-			w = w[:n]
-		}
-		for i, v := range w {
-			dst[i] += m * v
-		}
-	}
+	accumulateFlux(dst, currents, cp.M, gains)
 	// In-place backward differentiation: index i needs flux[i] and
 	// flux[i-1], both still intact when walking from the top down.
 	for i := n - 1; i >= 1; i-- {
@@ -385,6 +380,85 @@ func (cp *Coupling) EMFInto(dst []float64, currents [][]float64, dt float64) []f
 		dst[0] = 0
 	}
 	return dst
+}
+
+// accumulateFlux adds every tile's effective coupling times its
+// current waveform into dst, sweeping dst once per group of four tiles
+// instead of once per tile — the flux pass is memory-bound, and the
+// grouped sweep loads and stores each dst sample once per four
+// contributions. Grouping never reorders arithmetic: each dst[i]
+// receives its contributions in exactly the tile order of the
+// one-tile-at-a-time loop, so the result is bit-identical. A waveform
+// whose length differs from dst's breaks the group and is accumulated
+// individually over its clamped length, preserving that order too.
+func accumulateFlux(dst []float64, currents [][]float64, m, gains []float64) {
+	n := len(dst)
+	var ws [4][]float64
+	var ms [4]float64
+	pend := 0
+	for t, w := range currents {
+		mt := m[t]
+		if t < len(gains) {
+			mt *= gains[t]
+		}
+		if mt == 0 || len(w) == 0 {
+			continue
+		}
+		if len(w) != n {
+			flushFlux(dst, &ws, &ms, pend)
+			pend = 0
+			if len(w) > n {
+				w = w[:n]
+			}
+			for i, v := range w {
+				dst[i] += mt * v
+			}
+			continue
+		}
+		ws[pend], ms[pend] = w, mt
+		if pend++; pend == 4 {
+			flushFlux(dst, &ws, &ms, 4)
+			pend = 0
+		}
+	}
+	flushFlux(dst, &ws, &ms, pend)
+}
+
+// flushFlux adds the pending group's contributions, in tile order per
+// sample. Every grouped waveform has exactly len(dst) samples.
+func flushFlux(dst []float64, ws *[4][]float64, ms *[4]float64, pend int) {
+	n := len(dst)
+	switch pend {
+	case 4:
+		w0, w1, w2, w3 := ws[0][:n], ws[1][:n], ws[2][:n], ws[3][:n]
+		m0, m1, m2, m3 := ms[0], ms[1], ms[2], ms[3]
+		for i := range dst {
+			dst[i] += m0 * w0[i]
+			dst[i] += m1 * w1[i]
+			dst[i] += m2 * w2[i]
+			dst[i] += m3 * w3[i]
+		}
+	case 3:
+		w0, w1, w2 := ws[0][:n], ws[1][:n], ws[2][:n]
+		m0, m1, m2 := ms[0], ms[1], ms[2]
+		for i := range dst {
+			dst[i] += m0 * w0[i]
+			dst[i] += m1 * w1[i]
+			dst[i] += m2 * w2[i]
+		}
+	case 2:
+		w0, w1 := ws[0][:n], ws[1][:n]
+		m0, m1 := ms[0], ms[1]
+		for i := range dst {
+			dst[i] += m0 * w0[i]
+			dst[i] += m1 * w1[i]
+		}
+	case 1:
+		w0, m0 := ws[0][:n], ms[0]
+		for i := range dst {
+			dst[i] += m0 * w0[i]
+		}
+	}
 }
 
 // EMFWeightedInto is EMFInto with a per-tile current gain applied
@@ -400,43 +474,5 @@ func (cp *Coupling) EMFWeightedInto(dst []float64, currents [][]float64, dt floa
 	if len(gains) == 0 {
 		return cp.EMFInto(dst, currents, dt)
 	}
-	if len(currents) != len(cp.M) {
-		panic(fmt.Sprintf("emfield: %d tile waveforms for %d couplings", len(currents), len(cp.M)))
-	}
-	if len(currents) == 0 {
-		return dst[:0]
-	}
-	n := len(currents[0])
-	if cap(dst) >= n {
-		dst = dst[:n]
-	} else {
-		dst = make([]float64, n)
-	}
-	for i := range dst {
-		dst[i] = 0
-	}
-	for t, w := range currents {
-		m := cp.M[t]
-		if t < len(gains) {
-			m *= gains[t]
-		}
-		if m == 0 || len(w) == 0 {
-			continue
-		}
-		if len(w) > n {
-			w = w[:n]
-		}
-		for i, v := range w {
-			dst[i] += m * v
-		}
-	}
-	for i := n - 1; i >= 1; i-- {
-		dst[i] = -(dst[i] - dst[i-1]) / dt
-	}
-	if n > 1 {
-		dst[0] = dst[1]
-	} else {
-		dst[0] = 0
-	}
-	return dst
+	return cp.emfInto(dst, currents, dt, gains)
 }

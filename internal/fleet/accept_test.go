@@ -65,13 +65,17 @@ func TestFleetAcceptance(t *testing.T) {
 		}
 		return 0
 	}
-	// ...and the aggregator stalls through the early rounds until the
-	// queue saturates and sheds. The stall must be a transient, not a
-	// steady state: under sustained saturation drop-oldest evicts
+	// ...and the aggregator stalls until the queue saturates and sheds
+	// its first verdict, then recovers. The stall must be a transient,
+	// not a steady state: under sustained saturation drop-oldest evicts
 	// whatever was pushed first, which systematically starves the
-	// low-numbered dies of every shard below MinSamples.
+	// low-numbered dies of every shard below MinSamples. Keying the
+	// stall off the shed count (rather than a fixed processed count)
+	// makes the transient's depth independent of how fast the tick path
+	// runs — a fixed count calibrated for one tick speed turns into a
+	// fleet-wide blackout when the ticks get faster.
 	s.hooks.stallAggregator = func(processed uint64) time.Duration {
-		if processed < 400 {
+		if _, _, dropped := s.queue.stats(); dropped == 0 {
 			return 500 * time.Microsecond
 		}
 		return 0

@@ -4,6 +4,7 @@ import (
 	"math"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"emtrust/internal/core"
 )
@@ -30,11 +31,15 @@ type aggregator struct {
 	cfg  Config
 	dies []*Die
 
+	// The stream counters are atomic, outside the mutex, so Status
+	// snapshots and the chaos stall hook read them without stalling a
+	// batch ingest mid-flush.
+	processed atomic.Uint64
+	rejected  atomic.Uint64
+	confirmed atomic.Uint64
+
 	mu        sync.Mutex
 	st        []dieState
-	processed uint64
-	rejected  uint64
-	confirmed uint64
 	sinceRank int
 	rank      core.PopulationVerdict
 	fleetSig  float64
@@ -56,11 +61,28 @@ func newAggregator(cfg Config, dies []*Die) *aggregator {
 func (a *aggregator) ingest(v verdict) {
 	a.mu.Lock()
 	defer a.mu.Unlock()
+	a.ingestLocked(v)
+}
+
+// ingestBatch folds a drained queue batch in under one lock
+// acquisition — the aggregator-side half of the batched delivery path.
+func (a *aggregator) ingestBatch(vs []verdict) {
+	if len(vs) == 0 {
+		return
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	for _, v := range vs {
+		a.ingestLocked(v)
+	}
+}
+
+func (a *aggregator) ingestLocked(v verdict) {
 	st := &a.st[v.die]
-	a.processed++
+	a.processed.Add(1)
 	if v.v.Health.Rejected {
 		st.rejected++
-		a.rejected++
+		a.rejected.Add(1)
 	} else if !math.IsNaN(v.z) && !math.IsInf(v.z, 0) {
 		// Winsorize what feeds the EWMA: a persistent Trojan offset
 		// saturates the cap round after round and still dominates the
@@ -80,7 +102,7 @@ func (a *aggregator) ingest(v verdict) {
 		st.lastZ = v.z
 		if v.z > a.cfg.ThresholdK {
 			st.confirmed++
-			a.confirmed++
+			a.confirmed.Add(1)
 		}
 	}
 	if a.sinceRank++; a.sinceRank >= a.cfg.RankEvery {
@@ -155,7 +177,7 @@ func (a *aggregator) snapshot() (processed, rejected, confirmed uint64, rank cor
 	rank.Adjusted = append([]float64(nil), a.rank.Adjusted...)
 	rank.P = append([]float64(nil), a.rank.P...)
 	rank.Flag = append([]bool(nil), a.rank.Flag...)
-	return a.processed, a.rejected, a.confirmed, rank, a.fleetSig
+	return a.processed.Load(), a.rejected.Load(), a.confirmed.Load(), rank, a.fleetSig
 }
 
 // Alarm is one ranked fleet alarm, ordered most-suspicious first.

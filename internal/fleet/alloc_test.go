@@ -1,0 +1,59 @@
+package fleet
+
+import "testing"
+
+// The allocation gates pin the hot-path memory discipline: after the
+// first warming round, a monitored tick must not allocate beyond the
+// two fixed-size verdict-payload copies the evaluator hands back, and
+// a raw acquisition must not allocate at all. These run only without
+// -race (see raceEnabled).
+
+func allocService(t testing.TB) *Service {
+	t.Helper()
+	cfg := DefaultConfig()
+	cfg.Seed = 7
+	cfg.Dies = 4
+	cfg.Shards = 1
+	cfg.TickAverages = 4 // exercise the trimmed-mean fused pass
+	cfg.GoldenTraces = 6
+	cfg.NullTraces = 8
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestTickAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates; run the gate without -race")
+	}
+	s := allocService(t)
+	d := s.dies[0]
+	d.tick(0) // warm the reusable buffers
+	round := 1
+	avg := testing.AllocsPerRun(200, func() {
+		d.tick(round)
+		round++
+	})
+	if avg > 2 {
+		t.Fatalf("Die.tick allocates %.1f times per round, want <= 2", avg)
+	}
+}
+
+func TestAcquireAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates; run the gate without -race")
+	}
+	s := allocService(t)
+	d := s.dies[0]
+	d.acquire(0, d.dormant, 1, purposeTick, 0) // warm acqAcc/acqDraw/acqLo/acqHi
+	round := uint64(1)
+	avg := testing.AllocsPerRun(200, func() {
+		d.acquire(int(round), d.dormant, 1, purposeTick, round)
+		round++
+	})
+	if avg != 0 {
+		t.Fatalf("Die.acquire allocates %.1f times per call, want 0", avg)
+	}
+}

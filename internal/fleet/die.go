@@ -10,6 +10,7 @@ import (
 	"emtrust/internal/degrade"
 	"emtrust/internal/dsp"
 	"emtrust/internal/emfield"
+	"emtrust/internal/frand"
 	"emtrust/internal/stats"
 	"emtrust/internal/trace"
 )
@@ -114,13 +115,22 @@ type Die struct {
 	severity float64
 	dormant  []float64   // clean emf of this die's healthy state
 	active   [][]float64 // clean emf per Trojan state (infected only)
-	scratch  []float64
+	// rng is the die's reusable generator: every draw site reseeds it
+	// with dieSeed, which yields the same stream as a fresh dieRand
+	// generator without the per-draw rngSource allocation.
+	rng *frand.Rand
+	// acqAcc accumulates the trimmed mean in place and is the trace
+	// handed to the verdict pipeline; acqDraw holds the current raw
+	// draw. Both are die-owned and overwritten by the next acquire.
+	acqAcc, acqDraw *trace.Trace
 	// acqLo/acqHi are acquire's per-sample min/max scratch for the
 	// trimmed mean.
 	acqLo, acqHi []float64
-	channel      *degrade.Channel
-	health       *core.ChannelHealth
-	eval         *core.Evaluator
+	// featBuf is the reused feature vector returned by features.
+	featBuf []float64
+	channel *degrade.Channel
+	health  *core.ChannelHealth
+	eval    *core.Evaluator
 	// level/trend are the die's guarded Holt tracker over the projected
 	// score vector: level+trend predicts the next healthy-aging score,
 	// and the tracker learns only while the residual norm stays inside
@@ -217,7 +227,12 @@ func (p *Population) spawn(id int) (*Die, error) {
 			d.active[k] = p.coupling.EMFWeightedInto(nil, tiles, p.dt, gains)
 		}
 	}
-	d.scratch = make([]float64, len(d.dormant))
+	// The die-owned generator is reseeded per acquisition draw, so it
+	// is the concrete math/rand replica — same value streams, jumpable
+	// seed chain, and no interface hops per sample (see internal/frand).
+	d.rng = frand.NewRand(0)
+	d.acqAcc = &trace.Trace{Samples: make([]float64, 0, len(d.dormant))}
+	d.acqDraw = &trace.Trace{Samples: make([]float64, 0, len(d.dormant))}
 
 	// The die's acquisition chain: the healthy simulation channel
 	// wrapped in this die's aging profile (and, for the unlucky ones, a
@@ -254,7 +269,9 @@ func (p *Population) spawn(id int) (*Die, error) {
 	// and channel noise.
 	golden := make([]*trace.Trace, cfg.GoldenTraces)
 	for i := range golden {
-		golden[i] = d.acquire(i, d.dormant, purposeGolden, uint64(i))
+		// Clone: acquire returns the die-owned reusable buffer, and the
+		// golden set is retained by the fingerprint and health builders.
+		golden[i] = d.acquire(i, d.dormant, 1, purposeGolden, uint64(i)).Clone()
 	}
 	fp, err := core.BuildFingerprint(golden, core.DefaultFingerprintConfig())
 	if err != nil {
@@ -328,7 +345,7 @@ func (p *Population) spawn(id int) (*Die, error) {
 	accepted := 0 // second-span traces that passed the health gate
 	for i := range feats {
 		idx := fit + i
-		t := d.acquire(idx, d.dormant, purposeNull, uint64(i))
+		t := d.acquire(idx, d.dormant, 1, purposeNull, uint64(i))
 		if d.health.Check(t).Rejected {
 			continue
 		}
@@ -521,17 +538,37 @@ const localizedShare = 0.6
 // and segment RMS is itself noise-quenching: uncorrelated noise enters
 // a segment's RMS quadratically while in-band signal change passes
 // straight through.
+// The returned slice is the die-owned featBuf, overwritten by the next
+// call — callers that retain it must copy.
 func (d *Die) features(t *trace.Trace) []float64 {
-	return d.fp.Extractor.Extract(t)
+	d.featBuf = d.fp.Extractor.ExtractInto(d.featBuf, t)
+	return d.featBuf
 }
 
 // residNorm returns ||score - (level + trend)||, the prediction
-// residual norm, filling d.resid as scratch.
+// residual norm, filling d.resid as scratch. The loop is unrolled
+// four-wide but keeps one sequential accumulator — the squared terms
+// are added in exactly the original index order, so the norm is
+// bit-identical to the rolled loop (a multi-accumulator reduction
+// would reassociate the sum and drift the pinned verdict stream).
 func (d *Die) residNorm(score []float64) float64 {
 	sum := 0.0
-	for j, v := range score {
-		r := v - (d.level[j] + d.trend[j])
-		d.resid[j] = r
+	level, trend, resid := d.level, d.trend, d.resid
+	j := 0
+	for ; j+4 <= len(score); j += 4 {
+		r0 := score[j] - (level[j] + trend[j])
+		r1 := score[j+1] - (level[j+1] + trend[j+1])
+		r2 := score[j+2] - (level[j+2] + trend[j+2])
+		r3 := score[j+3] - (level[j+3] + trend[j+3])
+		resid[j], resid[j+1], resid[j+2], resid[j+3] = r0, r1, r2, r3
+		sum += r0 * r0
+		sum += r1 * r1
+		sum += r2 * r2
+		sum += r3 * r3
+	}
+	for ; j < len(score); j++ {
+		r := score[j] - (level[j] + trend[j])
+		resid[j] = r
 		sum += r * r
 	}
 	return math.Sqrt(sum)
@@ -555,10 +592,28 @@ func (d *Die) integrate(rn, cap float64) float64 {
 	if rn > cap && rn > 0 {
 		scale = cap / rn
 	}
+	// Unrolled four-wide with a single sequential accumulator, same
+	// bit-identity constraint as residNorm.
 	sum := 0.0
-	for j, r := range d.resid {
-		d.ewmaVec[j] += smoothAlpha * (scale*r - d.ewmaVec[j])
-		sum += d.ewmaVec[j] * d.ewmaVec[j]
+	resid, ew := d.resid, d.ewmaVec
+	j := 0
+	for ; j+4 <= len(resid); j += 4 {
+		e0, e1, e2, e3 := ew[j], ew[j+1], ew[j+2], ew[j+3]
+		e0 += smoothAlpha * (scale*resid[j] - e0)
+		e1 += smoothAlpha * (scale*resid[j+1] - e1)
+		e2 += smoothAlpha * (scale*resid[j+2] - e2)
+		e3 += smoothAlpha * (scale*resid[j+3] - e3)
+		ew[j], ew[j+1], ew[j+2], ew[j+3] = e0, e1, e2, e3
+		sum += e0 * e0
+		sum += e1 * e1
+		sum += e2 * e2
+		sum += e3 * e3
+	}
+	for ; j < len(resid); j++ {
+		e := ew[j]
+		e += smoothAlpha * (scale*resid[j] - e)
+		ew[j] = e
+		sum += e * e
 	}
 	return math.Sqrt(sum)
 }
@@ -610,10 +665,15 @@ func (d *Die) topShare() float64 {
 // amplitude/M into the features while the trim removes it outright,
 // and the remaining white/jitter noise still averages down by
 // ~sqrt(TickAverages).
-func (d *Die) acquire(idx int, wave []float64, purpose int, index uint64) *trace.Trace {
+// The returned trace is the die-owned acqAcc buffer, overwritten by the
+// next acquire — callers that retain it (enrollment) must Clone. The
+// amplitude scale is folded into the acquisition itself, so the caller
+// never copies the waveform to apply a gain.
+func (d *Die) acquire(idx int, wave []float64, scale float64, purpose int, index uint64) *trace.Trace {
 	cfg := d.pop.cfg
 	m := uint64(cfg.TickAverages)
-	t := d.channel.AcquireAt(idx, wave, d.pop.dt, dieRand(cfg.Seed, d.ID, purpose, index*m))
+	d.rng.Seed(dieSeed(cfg.Seed, d.ID, purpose, index*m))
+	t := d.channel.AcquireAtInto(idx, d.acqAcc, wave, scale, d.pop.dt, d.rng)
 	if m == 1 {
 		return t
 	}
@@ -622,13 +682,15 @@ func (d *Die) acquire(idx int, wave []float64, purpose int, index uint64) *trace
 		d.acqLo = make([]float64, len(t.Samples))
 		d.acqHi = make([]float64, len(t.Samples))
 	}
-	lo, hi := d.acqLo, d.acqHi
-	copy(lo, t.Samples)
-	copy(hi, t.Samples)
+	acc, lo, hi := t.Samples, d.acqLo, d.acqHi
+	copy(lo, acc)
+	copy(hi, acc)
 	for k := uint64(1); k < m; k++ {
-		r := d.channel.AcquireAt(idx, wave, d.pop.dt, dieRand(cfg.Seed, d.ID, purpose, index*m+k))
+		d.rng.Seed(dieSeed(cfg.Seed, d.ID, purpose, index*m+k))
+		r := d.channel.AcquireAtInto(idx, d.acqDraw, wave, scale, d.pop.dt, d.rng)
+		// One fused pass: sum for the mean, min/max for the trim.
 		for j, v := range r.Samples {
-			t.Samples[j] += v
+			acc[j] += v
 			if v < lo[j] {
 				lo[j] = v
 			}
@@ -639,13 +701,13 @@ func (d *Die) acquire(idx int, wave []float64, purpose int, index uint64) *trace
 	}
 	if trim {
 		inv := 1 / float64(m-2)
-		for j := range t.Samples {
-			t.Samples[j] = (t.Samples[j] - lo[j] - hi[j]) * inv
+		for j := range acc {
+			acc[j] = (acc[j] - lo[j] - hi[j]) * inv
 		}
 	} else {
 		inv := 1 / float64(m)
-		for j := range t.Samples {
-			t.Samples[j] *= inv
+		for j := range acc {
+			acc[j] *= inv
 		}
 	}
 	return t
@@ -661,22 +723,26 @@ func (d *Die) tick(round int) verdict {
 		wave = d.active[(round-cfg.ActivationRound)%len(d.active)]
 	}
 	g := d.pop.commonGain(round)
-	for i, v := range wave {
-		d.scratch[i] = v * g
-	}
 	idx := d.fitCount + round
-	t := d.acquire(idx, d.scratch, purposeTick, uint64(round))
-	if d.health.Check(t).Rejected {
+	t := d.acquire(idx, wave, g, purposeTick, uint64(round))
+	hv := d.health.Check(t)
+	if hv.Rejected {
 		// One re-acquisition: transient bursts pass on retry, a dead
 		// coil fails again and walks toward quarantine.
-		t = d.acquire(idx, d.scratch, purposeRetry, uint64(round))
+		t = d.acquire(idx, wave, g, purposeRetry, uint64(round))
+		hv = d.health.Check(t)
 	}
-	v := d.eval.Eval(t)
+	// The health verdict and features feed both the evaluator and the
+	// drift tracker below — checked once, extracted once.
+	var score []float64
+	if !hv.Rejected {
+		score = d.features(t)
+	}
+	v := d.eval.EvalChecked(t, hv, score)
 	z := math.NaN()
 	if v.Health.Rejected {
 		d.coast()
 	} else {
-		score := d.features(t)
 		rn := d.residNorm(score)
 		zi := (rn - d.medR) / d.sigmaR
 		z = (d.integrate(rn, d.medR+cfg.ThresholdK*d.sigmaR) - d.med) / d.sigma

@@ -292,12 +292,20 @@ func splitmix64(x uint64) uint64 {
 	return x ^ (x >> 31)
 }
 
-// dieRand returns the private generator for one (die, purpose, index)
-// draw site.
-func dieRand(seed int64, die, purpose int, index uint64) *rand.Rand {
+// dieSeed hashes one (die, purpose, index) draw site to its generator
+// seed.
+func dieSeed(seed int64, die, purpose int, index uint64) int64 {
 	h := splitmix64(uint64(seed))
 	h = splitmix64(h ^ splitmix64(uint64(die)+1))
 	h = splitmix64(h ^ splitmix64(uint64(purpose)+0x1000))
 	h = splitmix64(h ^ splitmix64(index+0x100000))
-	return rand.New(rand.NewSource(int64(h)))
+	return int64(h)
+}
+
+// dieRand returns the private generator for one (die, purpose, index)
+// draw site. Hot paths keep a per-die *rand.Rand and Seed it with
+// dieSeed instead — reseeding resets the source to the identical
+// stream without the ~5 KB generator allocation.
+func dieRand(seed int64, die, purpose int, index uint64) *rand.Rand {
+	return rand.New(rand.NewSource(dieSeed(seed, die, purpose, index)))
 }

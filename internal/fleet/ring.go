@@ -50,6 +50,39 @@ func (r *ring) push(v verdict) {
 	r.nonEmpty.Signal()
 }
 
+// pushBatch admits every element of vs under one lock acquisition,
+// element-wise identical to a sequence of push calls: each admission
+// may evict the then-oldest entry, and every eviction (or post-close
+// shed) is counted. It returns the number of verdicts shed, which
+// producers use as a congestion signal to shrink their batches — bulk
+// admission under saturation would evict contiguous runs of one
+// shard's sweep and systematically starve the same dies, where
+// fine-grained interleaving thins the stream uniformly. One Signal
+// suffices — the ring has a single consumer.
+func (r *ring) pushBatch(vs []verdict) (shed int) {
+	if len(vs) == 0 {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		r.dropped += uint64(len(vs))
+		return len(vs)
+	}
+	for _, v := range vs {
+		if r.n == len(r.buf) {
+			r.head = (r.head + 1) % len(r.buf)
+			r.n--
+			r.dropped++
+			shed++
+		}
+		r.buf[(r.head+r.n)%len(r.buf)] = v
+		r.n++
+	}
+	r.nonEmpty.Signal()
+	return shed
+}
+
 // pop blocks until an element is available or the ring is closed and
 // drained; ok is false only in the latter case. A closed ring still
 // hands out its remaining elements — close-then-drain is the graceful
@@ -68,6 +101,28 @@ func (r *ring) pop() (verdict, bool) {
 	r.head = (r.head + 1) % len(r.buf)
 	r.n--
 	return v, true
+}
+
+// popBatch blocks like pop until something is available, then drains
+// up to len(buf) elements in one lock acquisition and returns how many
+// it wrote. Zero only when the ring is closed and drained.
+func (r *ring) popBatch(buf []verdict) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for r.n == 0 && !r.closed {
+		r.nonEmpty.Wait()
+	}
+	n := r.n
+	if n > len(buf) {
+		n = len(buf)
+	}
+	for i := 0; i < n; i++ {
+		buf[i] = r.buf[r.head]
+		r.buf[r.head] = verdict{} // drop references for the GC
+		r.head = (r.head + 1) % len(r.buf)
+	}
+	r.n -= n
+	return n
 }
 
 // close stops admissions and wakes blocked consumers once the remaining

@@ -3,6 +3,7 @@ package fleet
 import (
 	"context"
 	"fmt"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -56,8 +57,17 @@ type Service struct {
 // jitter on an oversubscribed host.
 const timeoutStreakFactor = 4
 
+// shardBatch caps a shard's local verdict batch; batches flush to the
+// ring in one lock acquisition at this size and at every sweep end.
+// aggBatch sizes the aggregator's drain buffer.
+const (
+	shardBatch = 64
+	aggBatch   = 256
+)
+
 // shardState is one worker's slice of the fleet plus its supervision
-// counters.
+// counters. runner, timer, and batch are touched only by the shard's
+// own goroutine.
 type shardState struct {
 	id       int
 	dies     []*Die
@@ -66,6 +76,33 @@ type shardState struct {
 	restarts atomic.Int64
 	dead     atomic.Bool
 	running  atomic.Bool
+	// runner is the shard's persistent watchdog worker (created on
+	// first timed tick, replaced when abandoned on a timeout); timer is
+	// the reused watchdog timer; batch is the sweep-local verdict
+	// buffer flushed into the ring in bulk. congested is set when the
+	// last flush shed verdicts: while it holds, the shard flushes
+	// per-verdict so drop-oldest thins the stream as uniformly as the
+	// unbatched path did, instead of evicting contiguous sweep runs.
+	runner    *tickRunner
+	timer     *time.Timer
+	batch     []verdict
+	congested bool
+}
+
+// tickRunner is a persistent goroutine the shard hands timed ticks to,
+// replacing a per-tick spawn. Its done slot is buffered so a runner
+// abandoned on timeout can deliver its late verdict into the void,
+// clear the die's busy flag, and exit.
+type tickRunner struct {
+	req  chan tickReq
+	done chan verdict // capacity 1
+	exit chan struct{}
+}
+
+type tickReq struct {
+	die   *Die
+	round int
+	stall time.Duration
 }
 
 // New builds the population and enrolls every die. Enrollment is the
@@ -150,17 +187,27 @@ func (s *Service) Start(ctx context.Context) error {
 	})
 	s.spawn(func() {
 		defer close(s.done)
-		for {
-			v, ok := s.queue.pop()
-			if !ok {
-				return
-			}
-			if h := s.hooks.stallAggregator; h != nil {
+		if h := s.hooks.stallAggregator; h != nil {
+			// Chaos path: the stall hook wants per-verdict granularity so
+			// the queue saturates deterministically.
+			for {
+				v, ok := s.queue.pop()
+				if !ok {
+					return
+				}
 				if d := h(s.agg.processedApprox()); d > 0 {
 					time.Sleep(d)
 				}
+				s.agg.ingest(v)
 			}
-			s.agg.ingest(v)
+		}
+		buf := make([]verdict, aggBatch)
+		for {
+			n := s.queue.popBatch(buf)
+			if n == 0 {
+				return
+			}
+			s.agg.ingestBatch(buf[:n])
 		}
 	})
 	return nil
@@ -195,6 +242,7 @@ func (s *Service) Close() Status {
 // shard that returns cleanly (context cancelled or rounds finished) is
 // not restarted.
 func (s *Service) superviseShard(st *shardState) {
+	defer st.closeRunner()
 	for {
 		panicked := s.runShardOnce(st)
 		if !panicked {
@@ -237,6 +285,13 @@ func (s *Service) runShardOnce(st *shardState) (panicked bool) {
 			st.round.Add(1)
 		}
 	}()
+	if st.batch == nil {
+		st.batch = make([]verdict, 0, shardBatch)
+	}
+	// Registered after the recover defer so it runs first (LIFO): the
+	// verdicts produced before a panic are delivered, exactly as the
+	// unbatched path delivered them one by one.
+	defer st.flush(s.queue)
 	for {
 		round := int(st.round.Load())
 		if s.cfg.Rounds > 0 && round >= s.cfg.Rounds {
@@ -264,7 +319,7 @@ func (s *Service) runShardOnce(st *shardState) (panicked bool) {
 			if d.quarantined.Load() {
 				continue
 			}
-			v, ok, stuck := s.tickDie(d, round)
+			v, ok, stuck := s.tickDie(st, d, round)
 			// Quarantine evidence comes in two grades. Hard: health
 			// rejects and still-stuck visits (the previous tick hadn't
 			// finished a full round later) feed consecutiveBad. Soft: a
@@ -294,10 +349,49 @@ func (s *Service) runShardOnce(st *shardState) (panicked bool) {
 				d.quarantined.Store(true)
 			}
 			if ok {
-				s.queue.push(v)
+				st.batch = append(st.batch, v)
+				if st.congested || len(st.batch) == shardBatch {
+					st.flush(s.queue)
+				}
 			}
 		}
+		st.flush(s.queue)
 		st.round.Add(1)
+	}
+}
+
+// flush delivers the shard's batched verdicts into the ring in one
+// lock acquisition and resets the batch, recording whether the ring is
+// shedding (the congestion hysteresis: shed → per-verdict flushes,
+// clean flush → back to bulk). A shedding flush also yields the
+// scheduler slot: drop-oldest must never block a producer, but on an
+// oversubscribed host the aggregator can sit runnable-but-unscheduled
+// for a whole preemption slice while shards overflow the ring — a
+// yield hands it the core and turns scheduler-induced shedding back
+// into genuine overload shedding.
+func (st *shardState) flush(q *ring) {
+	if len(st.batch) == 0 {
+		return
+	}
+	st.congested = q.pushBatch(st.batch) > 0
+	st.batch = st.batch[:0]
+	if st.congested {
+		runtime.Gosched()
+	}
+}
+
+// closeRunner retires the shard's watchdog worker (if any) and stops
+// its timer, so Goroutines drains to zero after shutdown. The current
+// runner is always idle here: tickDie either received its result or
+// already abandoned and detached it.
+func (st *shardState) closeRunner() {
+	if r := st.runner; r != nil {
+		st.runner = nil
+		close(r.req)
+		<-r.exit
+	}
+	if st.timer != nil {
+		st.timer.Stop()
 	}
 }
 
@@ -310,7 +404,7 @@ func (s *Service) runShardOnce(st *shardState) (panicked bool) {
 // complete moments later — while finding the previous round's tick
 // STILL running a full round later is the hard signature of a wedged
 // capture, and only that grade feeds the quarantine streak.
-func (s *Service) tickDie(d *Die, round int) (v verdict, ok, stuck bool) {
+func (s *Service) tickDie(st *shardState, d *Die, round int) (v verdict, ok, stuck bool) {
 	stall := time.Duration(0)
 	if h := s.hooks.stallDie; h != nil {
 		stall = h(d.ID, round)
@@ -327,31 +421,60 @@ func (s *Service) tickDie(d *Die, round int) (v verdict, ok, stuck bool) {
 		s.timeouts.Add(1)
 		return verdict{}, false, true
 	}
-	ch := make(chan verdict, 1)
-	s.spawn(func() {
-		defer d.busy.Store(false)
-		if stall > 0 {
-			time.Sleep(stall)
-		}
-		ch <- d.tick(round)
-	})
-	timer := time.NewTimer(s.cfg.TickTimeout)
-	defer timer.Stop()
+	r := st.runner
+	if r == nil {
+		r = s.newTickRunner()
+		st.runner = r
+	}
+	r.req <- tickReq{die: d, round: round, stall: stall}
+	if st.timer == nil {
+		st.timer = time.NewTimer(s.cfg.TickTimeout)
+	} else {
+		// The timer is always quiescent here: both arms below leave its
+		// channel drained.
+		st.timer.Reset(s.cfg.TickTimeout)
+	}
 	select {
-	case v := <-ch:
+	case v := <-r.done:
+		if !st.timer.Stop() {
+			<-st.timer.C
+		}
 		return v, true, false
-	case <-timer.C:
+	case <-st.timer.C:
 		s.timeouts.Add(1)
+		// Abandon the runner: it finishes the tick on its own counted
+		// goroutine, parks the late verdict in its buffered done slot,
+		// clears the die's busy flag, and exits. The shard gets a fresh
+		// runner on the next timed tick.
+		close(r.req)
+		st.runner = nil
 		return verdict{}, false, false
 	}
 }
 
+// newTickRunner spawns a shard's persistent watchdog worker: it loops
+// on tick requests so the no-timeout happy path costs a channel
+// round-trip instead of a goroutine spawn plus timer allocation.
+func (s *Service) newTickRunner() *tickRunner {
+	r := &tickRunner{req: make(chan tickReq), done: make(chan verdict, 1), exit: make(chan struct{})}
+	s.spawn(func() {
+		defer close(r.exit)
+		for req := range r.req {
+			if req.stall > 0 {
+				time.Sleep(req.stall)
+			}
+			v := req.die.tick(req.round)
+			req.die.busy.Store(false)
+			r.done <- v
+		}
+	})
+	return r
+}
+
 // processedApprox reads the aggregator's processed counter for the
-// stall hook without taking the snapshot path.
+// stall hook without taking the snapshot path or any lock.
 func (a *aggregator) processedApprox() uint64 {
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	return a.processed
+	return a.processed.Load()
 }
 
 // Status is the service's machine-readable health summary, served on
@@ -433,3 +556,13 @@ func (s *Service) Status() Status {
 // Alarms returns the current FDR-controlled alarm list, most suspicious
 // first. Safe from any goroutine.
 func (s *Service) Alarms() []Alarm { return s.agg.alarms() }
+
+// TickOnce synchronously runs one capture-and-evaluate tick of the
+// given die at the given round, bypassing the shard workers, watchdog,
+// and verdict queue. It exists so benchmarks and allocation gates can
+// measure the bare tick path; the production path drives ticks through
+// Start. Not safe concurrently with a started service — the tick
+// mutates the die's reusable acquisition and evaluation buffers.
+func (s *Service) TickOnce(die, round int) {
+	s.dies[die].tick(round)
+}

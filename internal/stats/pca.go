@@ -151,14 +151,39 @@ func (p *PCA) ExplainedVarianceRatio() float64 {
 // Project maps an observation x (length d) to the k-dimensional principal
 // subspace.
 func (p *PCA) Project(x []float64) []float64 {
+	return p.ProjectInto(make([]float64, p.K()), x)
+}
+
+// ProjectInto is Project writing into dst, which must have length K().
+// The centering is folded into each row's dot product, so no temporary
+// is needed; the per-row accumulation order matches Project exactly.
+func (p *PCA) ProjectInto(dst, x []float64) []float64 {
 	if len(x) != len(p.Mean) {
 		panic(fmt.Sprintf("stats: PCA.Project dimension mismatch %d vs %d", len(x), len(p.Mean)))
 	}
-	centered := make([]float64, len(x))
-	for i, v := range x {
-		centered[i] = v - p.Mean[i]
+	if len(dst) != p.K() {
+		panic(fmt.Sprintf("stats: PCA.ProjectInto wants %d scores, got %d", p.K(), len(dst)))
 	}
-	return p.Components.MulVec(centered)
+	mean := p.Mean
+	for r := range dst {
+		row := p.Components.Row(r)
+		// Unrolled four-wide with one sequential accumulator: the
+		// products are added in the original index order, so the score
+		// is bit-identical to the rolled dot product.
+		sum := 0.0
+		j := 0
+		for ; j+4 <= len(row); j += 4 {
+			sum += row[j] * (x[j] - mean[j])
+			sum += row[j+1] * (x[j+1] - mean[j+1])
+			sum += row[j+2] * (x[j+2] - mean[j+2])
+			sum += row[j+3] * (x[j+3] - mean[j+3])
+		}
+		for ; j < len(row); j++ {
+			sum += row[j] * (x[j] - mean[j])
+		}
+		dst[r] = sum
+	}
+	return dst
 }
 
 // ProjectRows projects each row of data and returns the k-column score
@@ -174,19 +199,27 @@ func (p *PCA) ProjectRows(data *Matrix) *Matrix {
 // Reconstruct maps a score vector back into the original space:
 // mean + scores * components.
 func (p *PCA) Reconstruct(scores []float64) []float64 {
+	return p.ReconstructInto(make([]float64, len(p.Mean)), scores)
+}
+
+// ReconstructInto is Reconstruct writing into dst, which must have
+// length d (the original dimension).
+func (p *PCA) ReconstructInto(dst, scores []float64) []float64 {
 	if len(scores) != p.K() {
 		panic(fmt.Sprintf("stats: PCA.Reconstruct expects %d scores, got %d", p.K(), len(scores)))
 	}
-	out := make([]float64, len(p.Mean))
-	copy(out, p.Mean)
+	if len(dst) != len(p.Mean) {
+		panic(fmt.Sprintf("stats: PCA.ReconstructInto wants %d values, got %d", len(p.Mean), len(dst)))
+	}
+	copy(dst, p.Mean)
 	for r, s := range scores {
 		if s == 0 {
 			continue
 		}
 		comp := p.Components.Row(r)
 		for i, c := range comp {
-			out[i] += s * c
+			dst[i] += s * c
 		}
 	}
-	return out
+	return dst
 }

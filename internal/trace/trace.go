@@ -9,9 +9,21 @@ package trace
 import (
 	"fmt"
 	"math"
-	"math/rand"
 	"strings"
 )
+
+// Rand is the slice of randomness the measurement chain consumes: one
+// uniform draw for the interference phase, one normal draw per sample
+// for environment noise, and the occasional bounded integer for fault
+// injection run lengths (internal/degrade). Both *math/rand.Rand and
+// the repo's concrete *frand.Rand satisfy it; the fleet hot path passes
+// the latter so every per-sample draw compiles to direct arithmetic
+// instead of two interface hops.
+type Rand interface {
+	Float64() float64
+	NormFloat64() float64
+	Intn(n int) int
+}
 
 // Trace is a sampled voltage record.
 type Trace struct {
@@ -44,7 +56,17 @@ func (t *Trace) CSV() string {
 // internal/degrade) can interpose fault injection between the coil and
 // the data-analysis module without the experiments noticing.
 type Channel interface {
-	Acquire(clean []float64, dt float64, rng *rand.Rand) *Trace
+	Acquire(clean []float64, dt float64, rng Rand) *Trace
+}
+
+// ScaledAcquirer is the allocation-free fast path of a Channel: it
+// writes the measured record into dst (reusing dst.Samples when the
+// capacity suffices) and folds a caller-supplied amplitude scale into
+// the front-end gain, so a common-mode gain wobble costs no separate
+// copy pass. Acquire(clean, dt, rng) must equal
+// AcquireScaledInto(new, clean, 1, dt, rng) bit for bit.
+type ScaledAcquirer interface {
+	AcquireScaledInto(dst *Trace, clean []float64, scale, dt float64, rng Rand) *Trace
 }
 
 // Acquisition models one measurement channel (sensor or probe).
@@ -89,15 +111,31 @@ func MeasurementChannel(noiseRMS, interferenceRMS, fullScale float64) Acquisitio
 // noise, interference, quantization. The rng makes captures reproducible;
 // phase of the interference tone is randomized per capture, as on a real
 // unsynchronized scope.
-func (a Acquisition) Acquire(clean []float64, dt float64, rng *rand.Rand) *Trace {
+func (a Acquisition) Acquire(clean []float64, dt float64, rng Rand) *Trace {
+	return a.AcquireScaledInto(&Trace{}, clean, 1, dt, rng)
+}
+
+// AcquireScaledInto implements ScaledAcquirer: Acquire with the clean
+// waveform pre-multiplied by scale, written into dst. dst.Samples is
+// reused when its capacity suffices; the rng draw order (interference
+// phase first, then one normal draw per sample) matches Acquire
+// exactly, so reseeded streams reproduce the allocating path bit for
+// bit. scale*gain is applied as (v*scale)*g, two rounded multiplies,
+// matching a caller that scaled the waveform itself before acquiring.
+func (a Acquisition) AcquireScaledInto(dst *Trace, clean []float64, scale, dt float64, rng Rand) *Trace {
 	g := a.Gain
 	if g == 0 {
 		g = 1
 	}
-	out := make([]float64, len(clean))
+	out := dst.Samples
+	if cap(out) < len(clean) {
+		out = make([]float64, len(clean))
+	} else {
+		out = out[:len(clean)]
+	}
 	phase := rng.Float64() * 2 * math.Pi
 	for i, v := range clean {
-		s := v * g
+		s := (v * scale) * g
 		if a.NoiseRMS > 0 {
 			s += rng.NormFloat64() * a.NoiseRMS
 		}
@@ -109,12 +147,14 @@ func (a Acquisition) Acquire(clean []float64, dt float64, rng *rand.Rand) *Trace
 	if a.ADCBits > 0 && a.FullScale > 0 {
 		quantize(out, a.ADCBits, a.FullScale)
 	}
-	return &Trace{Dt: dt, Samples: out}
+	dst.Dt = dt
+	dst.Samples = out
+	return dst
 }
 
 // AcquireNoise captures a record with no signal (the chip idling), used
 // for the separate-noise-measurement SNR protocol of Section V-A.
-func (a Acquisition) AcquireNoise(n int, dt float64, rng *rand.Rand) *Trace {
+func (a Acquisition) AcquireNoise(n int, dt float64, rng Rand) *Trace {
 	return a.Acquire(make([]float64, n), dt, rng)
 }
 
