@@ -15,6 +15,7 @@ import (
 	"testing"
 
 	"emtrust/internal/aes"
+	"emtrust/internal/campaign"
 	"emtrust/internal/chip"
 	"emtrust/internal/core"
 	"emtrust/internal/degrade"
@@ -849,4 +850,45 @@ func BenchmarkSettle(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkCampaignSearch measures one full coverage-guided stimulus
+// search (GA, 32 individuals x 6 generations through the wide engine)
+// against a generated rare-trigger Trojan on the AES core, reporting
+// the achieved partial-trigger coverage as a custom metric.
+func BenchmarkCampaignSearch(b *testing.B) {
+	chipCfg := chip.DefaultConfig()
+	chipCfg.WithTrojans = false
+	chipCfg.WithA2 = false
+	golden, err := chip.New(chipCfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	gen := campaign.DefaultConfig()
+	gen.Members = 4
+	stim := campaign.AESStimulus()
+	camp, err := campaign.Generate(golden.Netlist(), stim, nil, gen)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := camp.Members[3] // k=5, the middle of the sweep
+	chipCfg.Insert = m
+	infected, err := chip.New(chipCfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var frac float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e, err := campaign.NewEvaluator(infected.Netlist(), stim, m, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := campaign.Search(e, campaign.GA{}, 32, 6, campaign.SearchSeed(gen.Seed, m.ID))
+		if err != nil {
+			b.Fatal(err)
+		}
+		frac = res.BestFrac
+	}
+	b.ReportMetric(100*frac, "coverage_%")
 }

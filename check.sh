@@ -25,4 +25,9 @@ go test -run 'Differential|CompiledVsReference|Wide' -count=1 ./internal/logic/.
 echo "== go test -race -shuffle=on =="
 go test -race -shuffle=on ./...
 
+echo "== campaign smoke (generate, search, export) =="
+# Tiny 8-Trojan campaign with a 2-generation search; cmd/netlist exits
+# nonzero if the search finds no partial-trigger coverage at all.
+go run ./cmd/netlist -campaign 8 -member 1 -search 2 -stats=false -verilog /dev/null >/dev/null
+
 echo "all checks passed"

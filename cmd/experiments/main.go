@@ -48,6 +48,7 @@ func runners() []runner {
 		{"degradation", "Extension: acquisition-chain faults, naive vs hardened monitor", func(c experiments.Config) (fmt.Stringer, error) { return experiments.Degradation(c) }},
 		{"localization", "Extension: golden-model-free detection and localization with the sensor array", func(c experiments.Config) (fmt.Stringer, error) { return experiments.Localization(c) }},
 		{"fleet", "Extension: population-scale monitoring with FDR-controlled fleet alarms", func(c experiments.Config) (fmt.Stringer, error) { return experiments.Fleet(c) }},
+		{"campaign", "Extension: generated Trojan campaign with ROC sweeps and stimulus search", func(c experiments.Config) (fmt.Stringer, error) { return experiments.Campaign(c) }},
 	}
 }
 

@@ -1,10 +1,19 @@
 // Command netlist inspects and exports the generated gate-level designs:
-// cell statistics per region, the ASCII floorplan, and structural Verilog
-// for external EDA flows.
+// cell statistics per region, the ASCII floorplan, structural Verilog
+// for external EDA flows, and generated Trojan campaigns.
 //
 // Usage:
 //
-//	netlist [-golden] [-stats] [-floorplan] [-verilog out.v]
+//	netlist [-golden] [-seed n] [-stats] [-floorplan] [-verilog out.v]
+//	        [-campaign n] [-member i] [-search gens]
+//
+// With -campaign n, a campaign of n rare-trigger Trojans is generated
+// against the golden design and listed; -member i selects one member
+// and builds the infected chip, composing with -stats, -floorplan, and
+// -verilog (so an infected netlist can be exported for external tools).
+// -search runs the coverage-guided stimulus search against the selected
+// member for the given number of generations and exits nonzero if it
+// finds no partial-trigger coverage at all (the CI smoke check).
 package main
 
 import (
@@ -14,22 +23,63 @@ import (
 	"os"
 	"sort"
 
+	"emtrust/internal/campaign"
 	"emtrust/internal/chip"
 	"emtrust/internal/netlist"
 )
 
 func main() {
 	golden := flag.Bool("golden", false, "build the Trojan-free chip")
+	seed := flag.Int64("seed", 1, "chip and campaign seed (reproducible builds)")
 	stats := flag.Bool("stats", true, "print per-region cell statistics")
 	floorplan := flag.Bool("floorplan", false, "print the ASCII floorplan")
 	verilog := flag.String("verilog", "", "write structural Verilog to this file")
+	campaignN := flag.Int("campaign", 0, "generate a campaign of this many Trojans against the golden design")
+	member := flag.Int("member", -1, "select one campaign member and build the infected chip")
+	searchGens := flag.Int("search", 0, "run the stimulus search on the selected member for this many generations")
 	flag.Parse()
 
 	cfg := chip.DefaultConfig()
-	if *golden {
+	cfg.Seed = *seed
+	if *golden || *campaignN > 0 {
 		cfg.WithTrojans = false
 		cfg.WithA2 = false
 	}
+
+	var selected *campaign.Member
+	var stim campaign.Stimulus
+	if *campaignN > 0 {
+		goldenChip, err := chip.New(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		gn, gfp := goldenChip.Netlist(), goldenChip.Floorplan()
+		gen := campaign.DefaultConfig()
+		gen.Seed = *seed
+		gen.Members = *campaignN
+		stim = campaign.AESStimulus()
+		camp, err := campaign.Generate(gn, stim,
+			func(v netlist.Net) int { return gfp.Grid.CellTile[gn.Driver(v)] }, gen)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("campaign seed %d, %d members, hash %016x\n", *seed, len(camp.Members), camp.Hash())
+		fmt.Printf("%-8s %2s %8s %12s %7s %5s\n", "member", "k", "rarity", "trigger p", "victim", "tile")
+		for _, m := range camp.Members {
+			fmt.Printf("%-8s %2d %8.2g %12.3g %7d %5d\n",
+				m.InsertName(), m.K, m.RarityMax, m.TriggerProb, m.Victim, m.VictimTile)
+		}
+		if *member >= 0 {
+			if *member >= len(camp.Members) {
+				log.Fatalf("member %d out of range (campaign has %d)", *member, len(camp.Members))
+			}
+			selected = camp.Members[*member]
+			cfg.Insert = selected
+		}
+	} else if *member >= 0 || *searchGens > 0 {
+		log.Fatal("-member and -search require -campaign")
+	}
+
 	c, err := chip.New(cfg)
 	if err != nil {
 		log.Fatal(err)
@@ -74,5 +124,27 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Printf("wrote %s\n", *verilog)
+	}
+
+	if *searchGens > 0 {
+		if selected == nil {
+			log.Fatal("-search requires -member")
+		}
+		e, err := campaign.NewEvaluator(n, stim, selected, 0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := campaign.Search(e, campaign.GA{}, 32, *searchGens,
+			campaign.SearchSeed(*seed, selected.ID))
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("search %s on %s: best %d/%d trigger terms (%.0f%%), %d full activations in %d evals\n",
+			res.Searcher, selected.InsertName(), res.BestScore, selected.K,
+			100*res.BestFrac, res.FullLanes, res.Evals)
+		if res.BestScore == 0 {
+			fmt.Fprintln(os.Stderr, "search found no partial-trigger coverage")
+			os.Exit(1)
+		}
 	}
 }

@@ -22,6 +22,23 @@ import (
 	"emtrust/internal/trojan"
 )
 
+// Inserter injects extra logic into the chip's netlist after the AES
+// core and the clock divider are generated (a campaign-generated Trojan,
+// an instrumentation block). Implementations must be deterministic —
+// the same inserter value must always build the same cells — and must
+// be comparable pointer types: chip builds and captures are memoized in
+// maps keyed on Config, so the dynamic value participates in map-key
+// comparison (identity, for a pointer).
+type Inserter interface {
+	// InsertName tags the built netlist (and the build-cache key); two
+	// inserters that build different logic must report different names.
+	InsertName() string
+	// Insert appends logic to the partially built design. The base
+	// design's cells and nets are already in place, so the inserter can
+	// reference and rewire them by the ids of the golden build.
+	Insert(b *netlist.Builder) error
+}
+
 // Config describes one chip build.
 type Config struct {
 	// WithTrojans selects the infected chip (the golden reference chip
@@ -29,6 +46,10 @@ type Config struct {
 	WithTrojans bool
 	// WithA2 adds the analog Trojan watching the clock-division wire.
 	WithA2 bool
+	// Insert, when non-nil, injects extra logic after the base design is
+	// generated (see Inserter). Campaign chips combine it with
+	// WithTrojans=false: the only malicious logic is the inserted one.
+	Insert Inserter
 
 	Trojan trojan.Config
 	A2     analog.A2Config
@@ -215,6 +236,11 @@ func buildChip(cfg Config) (*built, error) {
 			trojans[k] = trojan.Generate(b, core, k, cfg.Trojan)
 		}
 	}
+	if cfg.Insert != nil {
+		if err := cfg.Insert.Insert(b); err != nil {
+			return nil, fmt.Errorf("chip: insert %s: %w", cfg.Insert.InsertName(), err)
+		}
+	}
 	n := b.Build()
 	template, err := logic.New(n, cfg.simOptions()...)
 	if err != nil {
@@ -257,10 +283,14 @@ func buildChip(cfg Config) (*built, error) {
 }
 
 func chipName(cfg Config) string {
+	name := "aes_golden"
 	if cfg.WithTrojans {
-		return "aes_infected"
+		name = "aes_infected"
 	}
-	return "aes_golden"
+	if cfg.Insert != nil {
+		name += "_" + cfg.Insert.InsertName()
+	}
+	return name
 }
 
 // Netlist returns the chip's gate-level design.
@@ -402,6 +432,22 @@ func (c *Chip) SetTrojan(kind trojan.Kind, on bool) error {
 		v = 1
 	}
 	if err := c.sim.SetPortUint(kind.TriggerPort(), v); err != nil {
+		return err
+	}
+	c.sim.Settle()
+	c.sim.Tick()
+	return nil
+}
+
+// SetPort drives a one-bit input port and advances one cycle so a
+// registered activation flag behind it latches — the generic form of
+// SetTrojan for inserted logic (a campaign member's force input).
+func (c *Chip) SetPort(name string, on bool) error {
+	v := uint64(0)
+	if on {
+		v = 1
+	}
+	if err := c.sim.SetPortUint(name, v); err != nil {
 		return err
 	}
 	c.sim.Settle()

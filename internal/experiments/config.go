@@ -36,6 +36,16 @@ type Config struct {
 	// HistBins bins the Figure 6 histograms.
 	HistBins int
 
+	// CampaignMembers sizes the generated-Trojan campaign (0 keeps the
+	// generator's 105-member k × rarity sweep). CampaignSearchMembers is
+	// the subset the stimulus-search comparison runs on, and
+	// CampaignSearchPop/Gens set its per-member budget (population ×
+	// generations, identical for every searcher).
+	CampaignMembers       int
+	CampaignSearchMembers int
+	CampaignSearchPop     int
+	CampaignSearchGens    int
+
 	Fingerprint core.FingerprintConfig
 	Spectral    core.SpectralConfig
 }
@@ -58,8 +68,12 @@ func DefaultConfig() Config {
 		CaptureCycles:  32,
 		SpectralCycles: 512,
 		HistBins:       40,
-		Fingerprint:    core.DefaultFingerprintConfig(),
-		Spectral:       core.DefaultSpectralConfig(),
+
+		CampaignSearchMembers: 21,
+		CampaignSearchPop:     32,
+		CampaignSearchGens:    6,
+		Fingerprint:           core.DefaultFingerprintConfig(),
+		Spectral:              core.DefaultSpectralConfig(),
 	}
 }
 

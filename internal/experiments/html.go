@@ -86,7 +86,59 @@ func WriteHTMLReport(cfg Config, w io.Writer) error {
 		return err
 	}
 
+	// Extension: generated Trojan campaign ROC sweeps.
+	if err := addCampaign(cfg, r); err != nil {
+		return err
+	}
+
 	return r.WriteHTML(w)
+}
+
+// addCampaign renders the generated-Trojan campaign: the pooled ROC
+// curve over the Eq. (1) threshold margin, the detection tables along
+// each swept axis, and the searcher comparison.
+func addCampaign(cfg Config, r *report.Report) error {
+	res, err := Campaign(cfg)
+	if err != nil {
+		return err
+	}
+	r.AddHeading(fmt.Sprintf("Generated Trojan campaign — %d members (extension)", res.Members),
+		fmt.Sprintf("Automatically synthesized rare-trigger Trojans (AND of k rare nets, XOR payload plus a toggling "+
+			"payload bank) swept over trigger size, trigger rarity, and placement. Campaign hash %016x; "+
+			"regeneration from the same seed matched: %v.", res.Hash, res.Reproducible))
+
+	tpr := report.Series{Name: "TPR"}
+	fpr := report.Series{Name: "FPR"}
+	for _, p := range res.ROC {
+		tpr.Values = append(tpr.Values, 100*p.TPR)
+		fpr.Values = append(fpr.Values, 100*p.FPR)
+	}
+	r.AddLines("Pooled detection/false-alarm rates vs Eq. (1) threshold margin (%)",
+		"threshold margin", res.ROC[0].Margin, res.ROC[len(res.ROC)-1].Margin, false, tpr, fpr)
+
+	groupTable := func(title string, groups []CampaignGroup) {
+		rows := make([][]string, 0, len(groups))
+		for _, g := range groups {
+			rows = append(rows, []string{g.Label, fmt.Sprint(g.Members),
+				fmt.Sprintf("%.0f%%", 100*g.Detection), fmt.Sprintf("%.0f%%", 100*g.FalseAlarm),
+				fmt.Sprintf("%.0f%%", 100*g.Hardened), fmt.Sprintf("%.0f%%", 100*g.Array)})
+		}
+		r.AddTable([]string{title, "members", "detect", "false+", "hardened", "array"}, rows)
+	}
+	groupTable("trigger size", res.ByK)
+	groupTable("rarity bucket", res.ByRarity)
+	groupTable("tile quadrant", res.ByTile)
+
+	rows := make([][]string, 0, len(res.Search))
+	for _, s := range res.Search {
+		rows = append(rows, []string{s.Searcher,
+			fmt.Sprintf("%.1f%%", 100*s.MeanFrac),
+			fmt.Sprintf("%d/%d", s.FullTriggers, res.SearchMembers)})
+	}
+	r.AddTable([]string{
+		fmt.Sprintf("searcher (%d members, %d evals each)", res.SearchMembers, res.SearchBudget),
+		"mean coverage", "full triggers"}, rows)
+	return nil
 }
 
 // addLocalization renders the sensor-array sweep: the size/budget

@@ -1,0 +1,63 @@
+package logic
+
+import (
+	"math/bits"
+	"testing"
+
+	"emtrust/internal/netlist"
+)
+
+func TestAddNetOnes(t *testing.T) {
+	b := netlist.NewBuilder("ones")
+	in := b.Input("in", 2)
+	x := b.Xor(in[0], in[1])
+	b.Output("out", []netlist.Net{x})
+	n := b.Build()
+	sim, err := New(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := sim.Wide()
+	if err != nil {
+		t.Fatal(err)
+	}
+	lanes := 5
+	states := make([]*State, lanes)
+	laneBits := make([][]uint8, lanes)
+	for l := range states {
+		states[l] = sim.State()
+		laneBits[l] = []uint8{uint8(l & 1), uint8(l >> 1 & 1)}
+	}
+	if err := w.LoadStates(states); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.SetPortLanesBits("in", laneBits); err != nil {
+		t.Fatal(err)
+	}
+	w.Settle()
+	counts := make([]uint64, n.NumNets())
+	w.AddNetOnes(counts)
+	w.AddNetOnes(counts) // accumulates, not overwrites
+	for l := 0; l < lanes; l++ {
+		for bit := 0; bit < 2; bit++ {
+			want := uint64(2 * ((l >> bit) & 1))
+			// recompute per-net expectation below via direct check
+			_ = want
+		}
+	}
+	// in[0] is 1 on lanes 1 and 3; in[1] on lanes 2 and 3; xor on 1 and 2.
+	if counts[in[0]] != 4 || counts[in[1]] != 4 || counts[x] != 4 {
+		t.Errorf("counts = in0:%d in1:%d xor:%d, want 4 each (2 calls × 2 lanes)",
+			counts[in[0]], counts[in[1]], counts[x])
+	}
+	// Cross-check against NetWord popcounts.
+	if got := uint64(2 * bits.OnesCount64(w.NetWord(x))); got != counts[x] {
+		t.Errorf("AddNetOnes %d disagrees with NetWord popcount %d", counts[x], got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Errorf("AddNetOnes with short slice should panic")
+		}
+	}()
+	w.AddNetOnes(make([]uint64, 1))
+}

@@ -235,6 +235,21 @@ func (w *WideState) setNetWord(n netlist.Net, word uint64) {
 // NetWord returns a net's lane word: bit l is lane l's value.
 func (w *WideState) NetWord(n netlist.Net) uint64 { return w.values[n] }
 
+// AddNetOnes accumulates, per net, how many active lanes currently hold
+// the value 1: counts[net] += popcount(word & laneMask) for every net.
+// counts must have NumNets entries. Calling it once per simulated cycle
+// turns a wide run into a signal-probability profiler — the per-net
+// activity statistics behind rare-net Trojan trigger selection — at one
+// popcount per net per cycle instead of one scan per lane.
+func (w *WideState) AddNetOnes(counts []uint64) {
+	if len(counts) != len(w.values) {
+		panic(fmt.Sprintf("logic: AddNetOnes needs %d counters, got %d", len(w.values), len(counts)))
+	}
+	for i, v := range w.values {
+		counts[i] += uint64(bits.OnesCount64(v & w.mask))
+	}
+}
+
 // NetLane returns one lane's value (0 or 1) of a net.
 func (w *WideState) NetLane(n netlist.Net, lane int) uint8 {
 	return uint8(w.values[n] >> uint(lane) & 1)

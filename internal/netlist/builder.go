@@ -289,6 +289,51 @@ func (b *Builder) Counter(width int, en Net) []Net {
 // NumCells returns the number of cells created so far.
 func (b *Builder) NumCells() int { return len(b.cells) }
 
+// GateEquivalentsSince sums the gate-equivalent area of every cell
+// created at or after cell index from (see NumCells). Inserted payloads
+// use it to pad their footprint to a fixed size so different inserts
+// yield the same die geometry.
+func (b *Builder) GateEquivalentsSince(from int) float64 {
+	ge := 0.0
+	for _, c := range b.cells[from:] {
+		ge += c.Type.GateEquivalents()
+	}
+	return ge
+}
+
+// ReplaceFanout rewires the readers of net old onto net new: every
+// input pin of a cell with index below cellLimit, and every output-port
+// connection. Cells at or above cellLimit keep reading old, so a payload
+// inserted after the original design can splice itself into old's fanout
+// without rewiring its own trigger logic or the payload gate itself
+// (which must keep reading the original signal). The driver of old is
+// untouched. It returns the number of pins rewired.
+func (b *Builder) ReplaceFanout(old, new Net, cellLimit int) int {
+	if old == new {
+		return 0
+	}
+	n := 0
+	for ci := range b.cells[:cellLimit] {
+		ins := b.cells[ci].Inputs
+		for pi := range ins {
+			if ins[pi] == old {
+				ins[pi] = new
+				n++
+			}
+		}
+	}
+	for oi := range b.outputs {
+		nets := b.outputs[oi].Nets
+		for ni := range nets {
+			if nets[ni] == old {
+				nets[ni] = new
+				n++
+			}
+		}
+	}
+	return n
+}
+
 // SetNetLoad attaches extra load capacitance (farads) to a net's driving
 // cell, modeling a heavily loaded wire such as a pad or the AM Trojan's
 // antenna. It panics when the net has no driving cell.

@@ -1,0 +1,54 @@
+package netlist
+
+import "testing"
+
+func TestReplaceFanout(t *testing.T) {
+	b := NewBuilder("fanout")
+	in := b.Input("in", 2)
+	victim := b.And(in[0], in[1])
+	r1 := b.Not(victim)
+	r2 := b.Or(victim, in[0])
+	b.Output("out", []Net{victim, r1, r2})
+
+	limit := b.NumCells()
+	repl := b.Xor(victim, in[1]) // reads victim, but sits above limit
+	n := b.ReplaceFanout(victim, repl, limit)
+	// Rewired: r1's pin, one of r2's pins, and the output-port slot.
+	if n != 3 {
+		t.Fatalf("ReplaceFanout rewired %d pins, want 3", n)
+	}
+	net := b.Build()
+	for _, c := range net.Cells[limit:] {
+		for _, in := range c.Inputs {
+			if in == repl {
+				t.Fatalf("cell above limit rewired onto replacement")
+			}
+		}
+	}
+	out, _ := net.OutputPort("out")
+	if out.Nets[0] != repl {
+		t.Errorf("output port still reads %d, want %d", out.Nets[0], repl)
+	}
+	if err := net.Check(); err != nil {
+		t.Fatalf("rewired netlist invalid: %v", err)
+	}
+	if b.ReplaceFanout(victim, victim, 0) != 0 {
+		t.Errorf("self-replacement should rewire nothing")
+	}
+}
+
+func TestGateEquivalentsSince(t *testing.T) {
+	b := NewBuilder("ge")
+	in := b.Input("in", 1)
+	b.Not(in[0]) // 0.5 GE, before the mark
+	mark := b.NumCells()
+	b.Buf(in[0])        // 0.75
+	b.And(in[0], in[0]) // 1.25
+	b.Reg(in[0])        // 5.0
+	if got := b.GateEquivalentsSince(mark); got != 7.0 {
+		t.Errorf("GateEquivalentsSince = %v, want 7.0", got)
+	}
+	if got := b.GateEquivalentsSince(0); got != 7.5 {
+		t.Errorf("GateEquivalentsSince(0) = %v, want 7.5", got)
+	}
+}

@@ -1,0 +1,42 @@
+package trojan
+
+import "emtrust/internal/netlist"
+
+// Trigger is the activation plumbing shared by every Trojan in this
+// repository — the four paper Trojans and the generated campaign
+// members. It bundles the externally controllable trigger port the
+// paper adds "to activate the payload in a more manageable way", the
+// combinational trigger condition (the port, OR'd with an optional
+// stealthy internal condition such as a rare-net AND), and the
+// registered activation flag the payload gates on.
+type Trigger struct {
+	// Port is the one-bit external trigger input net.
+	Port netlist.Net
+	// Cond is the combinational condition feeding the activation
+	// register: Port alone, or Port OR the internal condition.
+	Cond netlist.Net
+	// Active is the registered "payload active" flag: the condition
+	// delayed by one flip-flop. Registering the condition also breaks
+	// any combinational path from an internal condition back into the
+	// logic the payload corrupts, so inserted triggers can never form
+	// a combinational loop.
+	Active netlist.Net
+}
+
+// NewTrigger declares the external trigger input port and builds the
+// registered activation flag in the builder's current region. When
+// internal is a valid net it is OR'd with the port, so the payload
+// fires on either the manageable external trigger or the stealthy
+// internal condition; with internal == InvalidNet the trigger is
+// port-only (the paper's four Trojans). The flag is level-sensitive:
+// once the condition deasserts, the payload deactivates on the next
+// clock edge, so experiments can switch Trojans on and off between
+// trace captures.
+func NewTrigger(b *netlist.Builder, port string, internal netlist.Net) Trigger {
+	p := b.Input(port, 1)[0]
+	cond := p
+	if internal != netlist.InvalidNet {
+		cond = b.Or(p, internal)
+	}
+	return Trigger{Port: p, Cond: cond, Active: b.Reg(cond)}
+}

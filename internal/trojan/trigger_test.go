@@ -1,0 +1,64 @@
+package trojan
+
+import (
+	"testing"
+
+	"emtrust/internal/logic"
+	"emtrust/internal/netlist"
+)
+
+// TestNewTriggerInternalCondition checks the shared trigger plumbing:
+// the active flag follows either the external port or the internal
+// condition, one registered cycle late.
+func TestNewTriggerInternalCondition(t *testing.T) {
+	b := netlist.NewBuilder("trig")
+	cond := b.Input("cond", 1)[0]
+	tr := NewTrigger(b, "force", cond)
+	b.Output("active", []netlist.Net{tr.Active})
+	n := b.Build()
+	sim, err := logic.New(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	step := func(force, internal uint64) uint64 {
+		if err := sim.SetPortUint("force", force); err != nil {
+			t.Fatal(err)
+		}
+		if err := sim.SetPortUint("cond", internal); err != nil {
+			t.Fatal(err)
+		}
+		sim.Settle()
+		sim.Tick()
+		v, err := sim.PortUint("active")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return v
+	}
+	if got := step(0, 0); got != 0 {
+		t.Fatalf("idle trigger active")
+	}
+	if got := step(1, 0); got != 1 {
+		t.Fatalf("external port did not arm the trigger")
+	}
+	if got := step(0, 1); got != 1 {
+		t.Fatalf("internal condition did not arm the trigger")
+	}
+	if got := step(0, 0); got != 0 {
+		t.Fatalf("trigger stuck active after conditions dropped")
+	}
+}
+
+// TestNewTriggerExternalOnly checks the degenerate form the paper
+// Trojans use: no internal condition, Cond aliases the port.
+func TestNewTriggerExternalOnly(t *testing.T) {
+	b := netlist.NewBuilder("trig_ext")
+	tr := NewTrigger(b, "force", netlist.InvalidNet)
+	if tr.Cond != tr.Port {
+		t.Fatalf("external-only trigger should alias Cond to the port net")
+	}
+	b.Output("active", []netlist.Net{tr.Active})
+	if err := b.Build().Check(); err != nil {
+		t.Fatal(err)
+	}
+}

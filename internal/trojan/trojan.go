@@ -130,37 +130,32 @@ func DefaultConfig() Config {
 // AES core. The external trigger is declared as a one-bit input port
 // named by Kind.TriggerPort.
 func Generate(b *netlist.Builder, core *aes.Core, kind Kind, cfg Config) *Instance {
-	trigger := b.Input(kind.TriggerPort(), 1)[0]
 	b.PushRegion(kind.Region())
 	defer b.PopRegion()
+	// The shared trigger plumbing: external port plus registered
+	// activation flag, with no internal condition (the paper activates
+	// these Trojans only through the manageable external trigger).
+	tr := NewTrigger(b, kind.TriggerPort(), netlist.InvalidNet)
 	switch kind {
 	case T1AMLeaker:
-		return generateT1(b, core, trigger, cfg)
+		return generateT1(b, core, tr, cfg)
 	case T2LeakageCurrent:
-		return generateT2(b, core, trigger, cfg)
+		return generateT2(b, core, tr, cfg)
 	case T3CDMALeaker:
-		return generateT3(b, core, trigger, cfg)
+		return generateT3(b, core, tr, cfg)
 	case T4PowerHog:
-		return generateT4(b, trigger, cfg)
+		return generateT4(b, tr, cfg)
 	default:
 		panic(fmt.Sprintf("trojan: unknown kind %d", int(kind)))
 	}
-}
-
-// activeFlag builds the registered activation flag shared by all Trojans:
-// once the external trigger is seen, the payload stays active until the
-// trigger is deasserted (level-sensitive, so experiments can switch the
-// Trojans on and off between trace captures).
-func activeFlag(b *netlist.Builder, trigger netlist.Net) netlist.Net {
-	return b.Reg(trigger)
 }
 
 // generateT1 builds the AM-radio leaker: a carrier divider that toggles a
 // bank of antenna drivers at clk/16 (750 kHz at the paper's 12 MHz
 // clock), on-off keyed by the key bit currently at the head of a
 // parallel-load shift register.
-func generateT1(b *netlist.Builder, core *aes.Core, trigger netlist.Net, cfg Config) *Instance {
-	active := activeFlag(b, trigger)
+func generateT1(b *netlist.Builder, core *aes.Core, tr Trigger, cfg Config) *Instance {
+	active := tr.Active
 	// Carrier: bit 3 of a free-running 4-bit divider toggles every 8
 	// cycles -> a clk/16 square wave.
 	div := b.Counter(4, active)
@@ -194,7 +189,7 @@ func generateT1(b *netlist.Builder, core *aes.Core, trigger netlist.Net, cfg Con
 		out := b.Buf(mod)
 		b.SetNetLoad(out, cfg.T1DriverLoad)
 	}
-	return &Instance{Kind: T1AMLeaker, Trigger: trigger, Active: active}
+	return &Instance{Kind: T1AMLeaker, Trigger: tr.Port, Active: active}
 }
 
 // generateT2 builds the leakage-current leaker: a wide shift register
@@ -202,9 +197,9 @@ func generateT1(b *netlist.Builder, core *aes.Core, trigger netlist.Net, cfg Con
 // inverter and the NMOS of the next (the paper's "one shift register and
 // two inverters"). The path draws a static current the EM sensor
 // integrates; the power model keys it off LeakWire.
-func generateT2(b *netlist.Builder, core *aes.Core, trigger netlist.Net, cfg Config) *Instance {
+func generateT2(b *netlist.Builder, core *aes.Core, tr Trigger, cfg Config) *Instance {
 	width := cfg.T2Width
-	active := activeFlag(b, trigger)
+	active := tr.Active
 	load := b.And(core.Start, active)
 	// The "pre-set time": a small divider paces the leakage shifting.
 	period := cfg.T2ShiftPeriod
@@ -246,7 +241,7 @@ func generateT2(b *netlist.Builder, core *aes.Core, trigger netlist.Net, cfg Con
 		b.Not(first)
 	}
 	return &Instance{
-		Kind: T2LeakageCurrent, Trigger: trigger, Active: active,
+		Kind: T2LeakageCurrent, Trigger: tr.Port, Active: active,
 		LeakWire: head, CrowbarPairs: pairs,
 	}
 }
@@ -256,12 +251,12 @@ func generateT2(b *netlist.Builder, core *aes.Core, trigger netlist.Net, cfg Con
 // multiple clock cycles per leaked bit. It is the smallest Trojan
 // (Table I: 0.76%), which is why the paper finds it the hardest to
 // detect.
-func generateT3(b *netlist.Builder, core *aes.Core, trigger netlist.Net, cfg Config) *Instance {
+func generateT3(b *netlist.Builder, core *aes.Core, tr Trigger, cfg Config) *Instance {
 	taps := cfg.T3Taps
 	if taps > len(core.Key) {
 		taps = len(core.Key)
 	}
-	active := activeFlag(b, trigger)
+	active := tr.Active
 	// 16-bit Fibonacci LFSR, taps 16,15,13,4 (maximal length).
 	lfsr := make([]netlist.Net, 16)
 	cells := make([]int, 16)
@@ -271,7 +266,7 @@ func generateT3(b *netlist.Builder, core *aes.Core, trigger netlist.Net, cfg Con
 	}
 	fb := b.Xor(b.Xor(lfsr[15], lfsr[14]), b.Xor(lfsr[12], lfsr[3]))
 	// Seed the LFSR via an OR with the trigger so it never sticks at 0.
-	b.PatchCellInput(cells[0], 0, b.Or(fb, trigger))
+	b.PatchCellInput(cells[0], 0, b.Or(fb, tr.Port))
 	for i := 1; i < 16; i++ {
 		b.PatchCellInput(cells[i], 0, lfsr[i-1])
 	}
@@ -289,7 +284,7 @@ func generateT3(b *netlist.Builder, core *aes.Core, trigger netlist.Net, cfg Con
 	out := b.And(spread, active)
 	drv := b.Buf(out) // the covert channel pad driver
 	b.SetNetLoad(drv, cfg.T3DriverLoad)
-	return &Instance{Kind: T3CDMALeaker, Trigger: trigger, Active: active}
+	return &Instance{Kind: T3CDMALeaker, Trigger: tr.Port, Active: active}
 }
 
 // muxTree builds a binary multiplexer tree selecting one of len(in) nets
@@ -314,15 +309,15 @@ func muxTree(b *netlist.Builder, in []netlist.Net, sel []netlist.Net) netlist.Ne
 // after activation"). On activation the bank loads a sparse pattern (one
 // flipping bit per T4Density stages) that then rotates forever, so the
 // added power is steady and tunable.
-func generateT4(b *netlist.Builder, trigger netlist.Net, cfg Config) *Instance {
+func generateT4(b *netlist.Builder, tr Trigger, cfg Config) *Instance {
 	toggles := cfg.T4Toggles
 	density := cfg.T4Density
 	if density < 1 {
 		density = 1
 	}
-	active := activeFlag(b, trigger)
+	active := tr.Active
 	// One-cycle load pulse on the activation edge.
-	loadPulse := b.And(trigger, b.Not(active))
+	loadPulse := b.And(tr.Cond, b.Not(active))
 	en := b.Or(loadPulse, active)
 	q := make([]netlist.Net, toggles)
 	cells := make([]int, toggles)
@@ -335,5 +330,5 @@ func generateT4(b *netlist.Builder, trigger netlist.Net, cfg Config) *Instance {
 		d := b.Mux(q[(i+1)%toggles], seed, loadPulse)
 		b.PatchCellInput(cells[i], 0, d)
 	}
-	return &Instance{Kind: T4PowerHog, Trigger: trigger, Active: active}
+	return &Instance{Kind: T4PowerHog, Trigger: tr.Port, Active: active}
 }
