@@ -392,6 +392,36 @@ func BenchmarkFFT(b *testing.B) {
 	}
 }
 
+// BenchmarkSpectralPlan measures one planned one-sided amplitude
+// spectrum into a reused buffer — the monitor verdict path's per-trace
+// transform cost. Zero allocations at steady state.
+func BenchmarkSpectralPlan(b *testing.B) {
+	x := make([]float64, 4096)
+	for i := range x {
+		x[i] = math.Sin(float64(i) * 0.1)
+	}
+	p := dsp.PlanForLength(len(x))
+	var amp []float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		amp = p.SpectrumInto(amp, x, dsp.Hann)
+	}
+}
+
+// BenchmarkSTFT measures a full spectrogram into reused row buffers —
+// the streaming demodulator view of a long capture.
+func BenchmarkSTFT(b *testing.B) {
+	x := make([]float64, 16384)
+	for i := range x {
+		x[i] = math.Sin(float64(i)*0.1) + 0.3*math.Sin(float64(i)*0.37)
+	}
+	var rows [][]float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows, _ = dsp.STFTInto(rows, x, 1e-9, dsp.Hann, 1024, 256)
+	}
+}
+
 // BenchmarkCachedCoupling measures a warm coupling-cache hit at the
 // default geometry (the cost every chip build after the first pays).
 func BenchmarkCachedCoupling(b *testing.B) {

@@ -459,3 +459,64 @@ func (c *Chip) CaptureChain(pt, key []byte, cycles, count int) ([]*Capture, erro
 	}
 	return caps, nil
 }
+
+// CaptureIdleChain is CaptureChain for idle (no-encryption) captures:
+// count consecutive CaptureIdle calls run as one serial chain through
+// the process-wide capture cache. A dormant chip's idle fixed point
+// collapses the whole chain to at most one simulation — on a fresh chip
+// of an already-seen configuration, to none at all, since the chip
+// build cache makes identical chips start from the identical state the
+// cache has already recorded. An armed A2 whose charge pump is still
+// integrating genuinely changes state every capture, so each step along
+// that orbit simulates once process-wide and replays forever after.
+// Waveforms, the simulator state trajectory, and the analog Trojan
+// state are bit-identical to count serial CaptureIdle calls. Chain
+// captures carry no Tiles. A count <= 0 is clamped to a nil chain.
+func (c *Chip) CaptureIdleChain(cycles, count int) ([]*Capture, error) {
+	if count <= 0 {
+		return nil, nil
+	}
+	caps := make([]*Capture, count)
+	var zero [16]byte
+	var hash uint64
+	hashValid := false
+	for j := range caps {
+		pre := c.sim.State()
+		if !hashValid {
+			hash = pre.ValueHash()
+		}
+		var a2v analog.A2
+		if c.a2 != nil {
+			a2v = *c.a2
+		}
+		ck := c.captureCacheKey(zero, zero, cycles, true, a2v, c.a2Enabled, hash)
+		if e := lookupCapture(ck, pre); e != nil {
+			cyc := c.sim.Cycle()
+			c.sim.SetState(e.post)
+			c.sim.SetCycle(cyc + cycles)
+			if c.a2 != nil {
+				*c.a2 = e.postA2
+			}
+			caps[j] = e.cap
+			hash, hashValid = e.postHash, true
+			continue
+		}
+		cap, err := c.CaptureIdle(cycles)
+		if err != nil {
+			return nil, err
+		}
+		post := c.sim.State()
+		var postA2 analog.A2
+		if c.a2 != nil {
+			postA2 = *c.a2
+		}
+		e := storeCapture(ck, &captureEntry{
+			pre:  pre,
+			cap:  &Capture{Sensor: cap.Sensor, Probe: cap.Probe, Dt: cap.Dt, seq: nextCaptureSeq()},
+			post: post, postA2: postA2, postHash: post.ValueHash(),
+		})
+		caps[j] = e.cap
+		hash, hashValid = e.postHash, true
+	}
+	return caps, nil
+}

@@ -1,0 +1,8 @@
+//go:build !race
+
+package core
+
+// raceEnabled reports whether the race detector is compiled in. The
+// allocation gates skip under it: race instrumentation allocates on
+// its own, so AllocsPerRun counts the detector, not the verdict path.
+const raceEnabled = false

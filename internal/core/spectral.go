@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"emtrust/internal/dsp"
 	"emtrust/internal/trace"
@@ -35,6 +36,10 @@ type SpectralDetector struct {
 	Mean     []float64 // per-bin mean golden amplitude (for reporting)
 	Floor    float64
 	DF       float64
+	// scratch pools per-call amplitude buffers so the clean verdict
+	// path allocates nothing at steady state, even with the monitor's
+	// worker pool evaluating concurrently on one shared detector.
+	scratch sync.Pool
 }
 
 // BuildSpectralDetector fits the golden envelope. All traces must share
@@ -49,19 +54,20 @@ func BuildSpectralDetector(golden []*trace.Trace, cfg SpectralConfig) (*Spectral
 	if cfg.FloorFactor <= 0 {
 		cfg.FloorFactor = 6
 	}
-	var env, mean []float64
+	var env, mean, amp []float64
 	var df float64
 	for _, t := range golden {
-		s := dsp.NewSpectrum(t.Samples, t.Dt, cfg.Window)
+		p := dsp.PlanForLength(len(t.Samples))
+		amp = p.SpectrumInto(amp, t.Samples, cfg.Window)
 		if env == nil {
-			env = make([]float64, len(s.Amplitude))
-			mean = make([]float64, len(s.Amplitude))
-			df = s.DF
+			env = make([]float64, len(amp))
+			mean = make([]float64, len(amp))
+			df = 1 / (float64(p.Size()) * t.Dt)
 		}
-		if len(s.Amplitude) != len(env) {
-			return nil, fmt.Errorf("core: golden traces disagree on spectrum length (%d vs %d)", len(s.Amplitude), len(env))
+		if len(amp) != len(env) {
+			return nil, fmt.Errorf("core: golden traces disagree on spectrum length (%d vs %d)", len(amp), len(env))
 		}
-		for i, a := range s.Amplitude {
+		for i, a := range amp {
 			if a > env[i] {
 				env[i] = a
 			}
@@ -134,15 +140,27 @@ type SpectralVerdict struct {
 }
 
 // Evaluate compares one trace's spectrum against the golden envelope.
+// The spectrum lands in a pooled buffer from the planned engine, so a
+// clean verdict allocates nothing; Spots are allocated only on alarm.
+// Safe for concurrent use on a shared detector.
 func (d *SpectralDetector) Evaluate(t *trace.Trace) SpectralVerdict {
-	s := dsp.NewSpectrum(t.Samples, t.Dt, d.cfg.Window)
+	bp, _ := d.scratch.Get().(*[]float64)
+	if bp == nil {
+		bp = new([]float64)
+	}
+	p := dsp.PlanForLength(len(t.Samples))
+	amp := p.SpectrumInto(*bp, t.Samples, d.cfg.Window)
+	df := 0.0
+	if len(t.Samples) > 0 {
+		df = 1 / (float64(p.Size()) * t.Dt)
+	}
 	var v SpectralVerdict
-	n := len(s.Amplitude)
+	n := len(amp)
 	if n > len(d.Envelope) {
 		n = len(d.Envelope)
 	}
 	for i := 1; i < n; i++ { // skip DC
-		a := s.Amplitude[i]
+		a := amp[i]
 		if a < d.Floor {
 			continue
 		}
@@ -151,11 +169,13 @@ func (d *SpectralDetector) Evaluate(t *trace.Trace) SpectralVerdict {
 			continue // within the golden envelope's margin
 		}
 		v.Spots = append(v.Spots, Spot{
-			Bin: i, Frequency: s.Frequency(i), Amplitude: a, Golden: g,
+			Bin: i, Frequency: float64(i) * df, Amplitude: a, Golden: g,
 			New: g < d.Floor,
 		})
 	}
 	v.Alarm = len(v.Spots) > 0
+	*bp = amp
+	d.scratch.Put(bp)
 	return v
 }
 

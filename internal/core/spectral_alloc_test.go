@@ -1,0 +1,83 @@
+package core
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// TestSpectralEvaluateZeroAlloc is the acceptance gate for the planned
+// spectral engine: a clean verdict on a warmed detector allocates
+// nothing — the amplitude buffer comes from the detector's pool and the
+// transform plan is cached process-wide. Skipped under -race, whose
+// instrumentation allocates on its own.
+func TestSpectralEvaluateZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates; gate runs in the non-race build")
+	}
+	rng := rand.New(rand.NewSource(1))
+	sd, err := BuildSpectralDetector(goldenSet(rng, 8, 2048), DefaultSpectralConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	clean := synthTrace(rng, 2048, 0)
+	if v := sd.Evaluate(clean); v.Alarm {
+		t.Fatal("clean trace alarmed; pick a quieter synthetic")
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		if v := sd.Evaluate(clean); v.Alarm {
+			t.Error("clean trace alarmed mid-gate")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("clean Evaluate allocates %.1f objects/op, want 0", allocs)
+	}
+}
+
+// TestSpectralEvaluateConcurrent hammers one shared detector from many
+// goroutines mixing clean and infected traces: the pooled scratch
+// buffers must never cross-contaminate verdicts.
+func TestSpectralEvaluateConcurrent(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	sd, err := BuildSpectralDetector(goldenSet(rng, 8, 2048), DefaultSpectralConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	clean := synthTrace(rng, 2048, 0)
+	infected := synthTrace(rng, 2048, 0.5)
+	wantClean := sd.Evaluate(clean)
+	wantInfected := sd.Evaluate(infected)
+	if wantClean.Alarm {
+		t.Fatal("clean trace alarmed serially")
+	}
+	if !wantInfected.Alarm {
+		t.Fatal("infected trace did not alarm serially")
+	}
+	var wg sync.WaitGroup
+	errs := make(chan string, 16)
+	for w := 0; w < 16; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for iter := 0; iter < 200; iter++ {
+				if (w+iter)%2 == 0 {
+					if v := sd.Evaluate(clean); v.Alarm {
+						errs <- "clean trace alarmed under concurrency"
+						return
+					}
+				} else {
+					v := sd.Evaluate(infected)
+					if !v.Alarm || len(v.Spots) != len(wantInfected.Spots) {
+						errs <- "infected verdict changed under concurrency"
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Fatal(e)
+	}
+}

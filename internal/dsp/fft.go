@@ -8,7 +8,6 @@ import (
 	"fmt"
 	"math"
 	"math/bits"
-	"math/cmplx"
 	"sync"
 )
 
@@ -69,32 +68,10 @@ func fftDir(x []complex128, inverse bool) {
 	if !IsPow2(n) {
 		panic(fmt.Sprintf("dsp: FFT length %d is not a power of two", n))
 	}
-	// Bit-reversal permutation.
-	shift := bits.UintSize - uint(bits.Len(uint(n-1)))
-	for i := 0; i < n; i++ {
-		j := int(bits.Reverse(uint(i)) >> shift)
-		if j > i {
-			x[i], x[j] = x[j], x[i]
-		}
-	}
-	// Danielson-Lanczos butterflies over the cached twiddle table.
-	tw := twiddles(n)
-	for size := 2; size <= n; size <<= 1 {
-		half := size / 2
-		stride := n / size
-		for start := 0; start < n; start += size {
-			for k := 0; k < half; k++ {
-				w := tw[k*stride]
-				if inverse {
-					w = complex(real(w), -imag(w))
-				}
-				a := x[start+k]
-				b := x[start+k+half] * w
-				x[start+k] = a + b
-				x[start+k+half] = a - b
-			}
-		}
-	}
+	// The planned transform runs the same butterflies over the same
+	// twiddle table; only the bit-reversal permutation is precomputed,
+	// so results stay bit-identical to the historical implementation.
+	cplanFor(n).transform(x, inverse)
 }
 
 // PadPow2 returns x zero-padded to the next power-of-two length. If the
@@ -125,32 +102,18 @@ func RealFFT(x []float64) []complex128 {
 
 // RealFFTInto is RealFFT writing into dst, which is grown only when its
 // capacity is below NextPow2(len(x)); it returns the slice holding the
-// spectrum. Hot loops reuse one scratch buffer across calls instead of
-// allocating pad + complex copies per transform.
+// spectrum. It runs the planned half-size real transform (see plan.go):
+// half the butterfly work of the old ToComplex + full complex FFT path,
+// with no scratch allocation when dst has capacity. The full complex
+// transform remains available through FFT and serves as the reference
+// in the differential tests.
 func RealFFTInto(dst []complex128, x []float64) []complex128 {
-	n := NextPow2(len(x))
-	if cap(dst) >= n {
-		dst = dst[:n]
-	} else {
-		dst = make([]complex128, n)
-	}
-	for i, v := range x {
-		dst[i] = complex(v, 0)
-	}
-	for i := len(x); i < n; i++ {
-		dst[i] = 0
-	}
-	FFT(dst)
-	return dst
+	return PlanForLength(len(x)).RealFFTInto(dst, x)
 }
 
 // Magnitudes returns the magnitude of each bin of the spectrum.
 func Magnitudes(spec []complex128) []float64 {
-	out := make([]float64, len(spec))
-	for i, v := range spec {
-		out[i] = cmplx.Abs(v)
-	}
-	return out
+	return MagnitudesInto(nil, spec)
 }
 
 // BinFrequency returns the frequency in hertz of bin k for a transform of

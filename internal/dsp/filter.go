@@ -1,7 +1,9 @@
 package dsp
 
 // MovingAverage returns the centered moving average of x over a window of
-// the given width (clamped at the edges). A width <= 1 returns a copy.
+// the given width (clamped at the edges). A width <= 1 — including zero
+// and negative widths — is clamped to the identity filter and returns a
+// copy of x.
 func MovingAverage(x []float64, width int) []float64 {
 	out := make([]float64, len(x))
 	if width <= 1 {
@@ -28,7 +30,8 @@ func MovingAverage(x []float64, width int) []float64 {
 }
 
 // Decimate keeps every factor-th sample of x starting at index 0. A factor
-// <= 1 returns a copy.
+// <= 1 — including zero and negative factors — is clamped to no
+// decimation and returns a copy of x.
 func Decimate(x []float64, factor int) []float64 {
 	if factor <= 1 {
 		out := make([]float64, len(x))

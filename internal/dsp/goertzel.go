@@ -5,7 +5,8 @@ import "math"
 // Goertzel computes the magnitude of a single frequency component of x
 // (sampled every dt seconds) using the Goertzel algorithm — much cheaper
 // than a full FFT when only one bin matters, which is exactly the
-// demodulator's case (the 750 kHz AM carrier of Trojan 1).
+// demodulator's case (the 750 kHz AM carrier of Trojan 1). A
+// zero-length input is clamped to amplitude 0.
 func Goertzel(x []float64, dt, freq float64) float64 {
 	n := len(x)
 	if n == 0 {
@@ -31,7 +32,9 @@ func Goertzel(x []float64, dt, freq float64) float64 {
 
 // GoertzelSeries slides a Goertzel window of winLen samples across x with
 // the given hop and returns the per-window carrier amplitude: the
-// envelope of an on-off-keyed tone.
+// envelope of an on-off-keyed tone. Degenerate arguments — winLen <= 0,
+// hop <= 0, or a signal shorter than one window — are clamped to a nil
+// result rather than panicking or looping forever.
 func GoertzelSeries(x []float64, dt, freq float64, winLen, hop int) []float64 {
 	if winLen <= 0 || hop <= 0 || len(x) < winLen {
 		return nil
@@ -45,14 +48,22 @@ func GoertzelSeries(x []float64, dt, freq float64, winLen, hop int) []float64 {
 
 // STFT computes a spectrogram: successive windowed spectra of x with the
 // given window length and hop. Each row is the one-sided amplitude
-// spectrum of one frame.
+// spectrum of one frame. Degenerate arguments — winLen <= 0, hop <= 0,
+// or a signal shorter than one frame — are clamped to a nil result
+// rather than panicking or looping forever. Callers that want to reuse
+// row buffers across calls use STFTInto instead; this wrapper allocates
+// one Spectrum per frame to keep its historical signature.
 func STFT(x []float64, dt float64, w Window, winLen, hop int) []*Spectrum {
 	if winLen <= 0 || hop <= 0 || len(x) < winLen {
 		return nil
 	}
-	var frames []*Spectrum
+	p := PlanForLength(winLen)
+	n := p.Size()
+	df := 1 / (float64(n) * dt)
+	frames := make([]*Spectrum, 0, 1+(len(x)-winLen)/hop)
 	for start := 0; start+winLen <= len(x); start += hop {
-		frames = append(frames, NewSpectrum(x[start:start+winLen], dt, w))
+		amp := p.SpectrumInto(nil, x[start:start+winLen], w)
+		frames = append(frames, &Spectrum{Amplitude: amp, DF: df, N: n})
 	}
 	return frames
 }

@@ -15,6 +15,19 @@ func RMS(x []float64) float64 {
 	return math.Sqrt(sum / float64(len(x)))
 }
 
+// PeakAbs returns the largest absolute sample value of x, or 0 for an
+// empty slice. The scan keeps the natural index order, so the result is
+// bit-identical to the straightforward loop it replaces in callers.
+func PeakAbs(x []float64) float64 {
+	peak := 0.0
+	for _, v := range x {
+		if a := math.Abs(v); a > peak {
+			peak = a
+		}
+	}
+	return peak
+}
+
 // Mean returns the arithmetic mean of x, or 0 for an empty slice.
 func Mean(x []float64) float64 {
 	if len(x) == 0 {

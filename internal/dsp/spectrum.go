@@ -20,26 +20,15 @@ type Spectrum struct {
 
 // NewSpectrum computes a one-sided amplitude spectrum of the real signal x
 // sampled every dt seconds, after applying window w and zero-padding to a
-// power of two.
+// power of two. It runs on the planned engine (plan.go); hot loops that
+// want to reuse the amplitude buffer call Plan.SpectrumInto directly.
 func NewSpectrum(x []float64, dt float64, w Window) *Spectrum {
 	if len(x) == 0 {
 		return &Spectrum{Amplitude: []float64{}, DF: 0, N: 0}
 	}
-	windowed := w.Apply(x)
-	spec := RealFFT(windowed)
-	n := len(spec)
-	gain := w.Gain(len(x))
-	half := n/2 + 1
-	amp := make([]float64, half)
-	scale := 2 / (float64(len(x)) * gain)
-	for k := 0; k < half; k++ {
-		a := math.Hypot(real(spec[k]), imag(spec[k])) * scale
-		if k == 0 || k == n/2 {
-			a /= 2 // DC and Nyquist appear once, not twice
-		}
-		amp[k] = a
-	}
-	return &Spectrum{Amplitude: amp, DF: 1 / (float64(n) * dt), N: n}
+	p := PlanForLength(len(x))
+	amp := p.SpectrumInto(nil, x, w)
+	return &Spectrum{Amplitude: amp, DF: 1 / (float64(p.Size()) * dt), N: p.Size()}
 }
 
 // Frequency returns the frequency of bin k in hertz.

@@ -1,6 +1,9 @@
 package dsp
 
-import "math"
+import (
+	"math"
+	"sync"
+)
 
 // Window identifies a tapering function applied to a signal before a
 // spectral transform to control leakage.
@@ -35,8 +38,58 @@ func (w Window) String() string {
 	}
 }
 
-// Coefficients returns the n window coefficients. n must be positive.
-func (w Window) Coefficients(n int) []float64 {
+// windowVec is a cached window vector: the coefficients plus the
+// derived scalars every spectral normalization needs, computed once per
+// (window, length) pair. The coef slice is shared read-only by the hot
+// paths; Coefficients hands out copies so callers stay free to mutate.
+type windowVec struct {
+	coef  []float64
+	gain  float64 // coherent gain: mean coefficient
+	sumsq float64 // sum of squared coefficients (PSD normalization)
+}
+
+type windowKey struct {
+	w Window
+	n int
+}
+
+var (
+	windowMu   sync.RWMutex
+	windowVecs = map[windowKey]*windowVec{}
+)
+
+// windowFor returns the cached window vector for (w, n), building it on
+// first use. The read path takes only an RLock and never allocates.
+func windowFor(w Window, n int) *windowVec {
+	k := windowKey{w, n}
+	windowMu.RLock()
+	v := windowVecs[k]
+	windowMu.RUnlock()
+	if v != nil {
+		return v
+	}
+	c := computeCoefficients(w, n)
+	v = &windowVec{coef: c, gain: 1}
+	if n > 0 {
+		sum, sumsq := 0.0, 0.0
+		for _, cv := range c {
+			sum += cv
+			sumsq += cv * cv
+		}
+		v.gain = sum / float64(n)
+		v.sumsq = sumsq
+	}
+	windowMu.Lock()
+	if q, ok := windowVecs[k]; ok {
+		v = q
+	} else {
+		windowVecs[k] = v
+	}
+	windowMu.Unlock()
+	return v
+}
+
+func computeCoefficients(w Window, n int) []float64 {
 	c := make([]float64, n)
 	if n == 1 {
 		c[0] = 1
@@ -59,10 +112,18 @@ func (w Window) Coefficients(n int) []float64 {
 	return c
 }
 
+// Coefficients returns the n window coefficients. n must be
+// non-negative. The returned slice is a private copy.
+func (w Window) Coefficients(n int) []float64 {
+	c := make([]float64, n)
+	copy(c, windowFor(w, n).coef)
+	return c
+}
+
 // Apply multiplies x by the window coefficients and returns a new slice; x
 // is not modified.
 func (w Window) Apply(x []float64) []float64 {
-	c := w.Coefficients(len(x))
+	c := windowFor(w, len(x)).coef
 	out := make([]float64, len(x))
 	for i, v := range x {
 		out[i] = v * c[i]
@@ -73,10 +134,5 @@ func (w Window) Apply(x []float64) []float64 {
 // Gain returns the coherent gain of the window (mean coefficient value),
 // used to rescale spectral amplitudes so windows are comparable.
 func (w Window) Gain(n int) float64 {
-	c := w.Coefficients(n)
-	sum := 0.0
-	for _, v := range c {
-		sum += v
-	}
-	return sum / float64(n)
+	return windowFor(w, n).gain
 }

@@ -214,16 +214,28 @@ func captureRandomSet(c *chip.Chip, key []byte, ch chip.Channels, n, cycles int)
 }
 
 // idleTraces records n dual-channel traces with no encryption running
-// (only the clock tree and any active Trojans radiate).
+// (only the clock tree and any active Trojans radiate). The warm-up +
+// measure pair runs as a two-step idle chain through the process-wide
+// capture cache: stream allocation, state trajectory, and acquisition
+// draws are exactly those of the old replicate form, but a chip
+// configuration the cache has already seen replays both steps without
+// simulating at all.
 func idleTraces(c *chip.Chip, ch chip.Channels, n, cycles int) (*dualSet, error) {
+	if n <= 0 {
+		return &dualSet{}, nil
+	}
+	stream := c.NextStream()
+	chain, err := c.CaptureIdleChain(cycles, 2)
+	if err != nil {
+		return nil, err
+	}
+	cap := chain[1] // chain[0] is the warm-up, discarded
 	sensors := make([]*trace.Trace, n)
 	probes := make([]*trace.Trace, n)
-	err := replicate(c, n,
-		func(w *chip.Chip) (*chip.Capture, error) { return w.CaptureIdle(cycles) },
-		func(i int, cap *chip.Capture, rng *rand.Rand) error {
-			sensors[i], probes[i] = ch.Acquire(cap, rng)
-			return nil
-		})
+	err = parallel.For(n, func(i int) error {
+		sensors[i], probes[i] = ch.Acquire(cap, c.SplitRand(stream, uint64(i)))
+		return nil
+	})
 	if err != nil {
 		return nil, err
 	}

@@ -200,6 +200,10 @@ func Fig6Spectra(cfg Config) (*SpectraResult, error) {
 	clock := cfg.Chip.Power.ClockHz
 
 	res := &SpectraResult{}
+	// One reused amplitude buffer serves every per-Trojan spectrum; the
+	// Spectrum header is rebuilt around it each iteration and fully
+	// consumed before the next overwrites it.
+	var amp []float64
 	for _, k := range trojan.Kinds() {
 		if err := c.SetTrojan(k, true); err != nil {
 			return nil, err
@@ -212,7 +216,9 @@ func Fig6Spectra(cfg Config) (*SpectraResult, error) {
 		if err := c.SetTrojan(k, false); err != nil {
 			return nil, err
 		}
-		spec := dsp.NewSpectrum(s.Samples, s.Dt, cfg.Spectral.Window)
+		p := dsp.PlanForLength(len(s.Samples))
+		amp = p.SpectrumInto(amp, s.Samples, cfg.Spectral.Window)
+		spec := &dsp.Spectrum{Amplitude: amp, DF: 1 / (float64(p.Size()) * s.Dt), N: p.Size()}
 		v := sd.Evaluate(s)
 		panel := SpectrumPanel{
 			Trojan:          k,
@@ -233,17 +239,24 @@ func bandAround(s *dsp.Spectrum, f float64) float64 {
 	return s.BandEnergy(f-4*s.DF, f+4*s.DF)
 }
 
+// averageSpectrum is the linear per-bin amplitude mean over the traces
+// (an amplitude average, not a power average — the paper's Figure 6
+// envelope convention). One planned scratch buffer serves every trace.
 func averageSpectrum(traces []*trace.Trace, w dsp.Window) *dsp.Spectrum {
 	var avg *dsp.Spectrum
+	var amp []float64
 	for _, t := range traces {
-		s := dsp.NewSpectrum(t.Samples, t.Dt, w)
+		p := dsp.PlanForLength(len(t.Samples))
+		amp = p.SpectrumInto(amp, t.Samples, w)
 		if avg == nil {
-			avg = s
+			avg = &dsp.Spectrum{
+				Amplitude: append([]float64(nil), amp...),
+				DF:        1 / (float64(p.Size()) * t.Dt),
+				N:         p.Size(),
+			}
 			continue
 		}
-		for i := range avg.Amplitude {
-			avg.Amplitude[i] += s.Amplitude[i]
-		}
+		dsp.Add(avg.Amplitude, amp)
 	}
 	for i := range avg.Amplitude {
 		avg.Amplitude[i] /= float64(len(traces))

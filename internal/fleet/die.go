@@ -238,12 +238,7 @@ func (p *Population) spawn(id int) (*Die, error) {
 	// wrapped in this die's aging profile (and, for the unlucky ones, a
 	// mid-run coil break).
 	refRMS := dsp.RMS(d.dormant)
-	peak := 0.0
-	for _, v := range d.dormant {
-		if a := math.Abs(v); a > peak {
-			peak = a
-		}
-	}
+	peak := dsp.PeakAbs(d.dormant)
 	stages := degrade.Profile{
 		Severity: d.severity,
 		RefRMS:   refRMS,
